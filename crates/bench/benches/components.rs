@@ -1,0 +1,132 @@
+//! Micro-benchmarks of the substrate components on the probe hot path.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use spfail_dns::{wire, Message, Name, QueryLogEntry, RData, Record, RecordType};
+use spfail_dns::resolver::{LookupError, LookupOutcome};
+use spfail_libspf2::LibSpf2Expander;
+use spfail_netsim::SimTime;
+use spfail_prober::classify;
+use spfail_spf::eval::{Evaluator, SpfDns};
+use spfail_spf::expand::{CompliantExpander, MacroContext, MacroExpander};
+use spfail_spf::macrostring::MacroString;
+use spfail_spf::record::SpfRecord;
+
+fn sample_response() -> Message {
+    let q = Message::query(
+        0x1234,
+        Name::parse("k7q2.s1.spf-test.dns-lab.org").expect("name"),
+        RecordType::TXT,
+    );
+    Message::respond_to(&q).with_answer(Record::new(
+        Name::parse("k7q2.s1.spf-test.dns-lab.org").expect("name"),
+        60,
+        RData::txt(
+            "v=spf1 a:%{d1r}.k7q2.s1.spf-test.dns-lab.org \
+             a:b.k7q2.s1.spf-test.dns-lab.org -all",
+        ),
+    ))
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let message = sample_response();
+    let encoded = wire::encode(&message);
+    c.bench_function("dns_wire_encode", |b| {
+        b.iter(|| wire::encode(black_box(&message)))
+    });
+    c.bench_function("dns_wire_decode", |b| {
+        b.iter(|| wire::decode(black_box(&encoded)).expect("decodes"))
+    });
+    c.bench_function("dns_name_parse", |b| {
+        b.iter(|| Name::parse(black_box("org.org.dns-lab.spf-test.s1.k7q2.k7q2.s1.spf-test.dns-lab.org")))
+    });
+}
+
+fn bench_spf(c: &mut Criterion) {
+    let record_text = "v=spf1 a:foo.example.com ip4:192.0.2.1 include:bar.org -all";
+    c.bench_function("spf_record_parse", |b| {
+        b.iter(|| SpfRecord::parse(black_box(record_text)).expect("parses"))
+    });
+
+    let ms = MacroString::parse("%{d1r}.foo.com").expect("macro");
+    let ctx = MacroContext::new("user", "example.com", "192.0.2.3".parse().expect("ip"));
+    c.bench_function("macro_expand_compliant", |b| {
+        b.iter(|| {
+            CompliantExpander
+                .expand(black_box(&ms), black_box(&ctx), false)
+                .expect("expands")
+        })
+    });
+    c.bench_function("macro_expand_vulnerable_libspf2", |b| {
+        let mut expander = LibSpf2Expander::vulnerable();
+        b.iter(|| {
+            expander.reset_heap();
+            expander
+                .expand(black_box(&ms), black_box(&ctx), false)
+                .expect("expands")
+        })
+    });
+
+    /// An allocation-free fixture answering the measurement-zone pattern.
+    struct ZoneDns;
+    impl SpfDns for ZoneDns {
+        fn lookup(
+            &mut self,
+            name: &Name,
+            rtype: RecordType,
+        ) -> Result<LookupOutcome, LookupError> {
+            match rtype {
+                RecordType::TXT => Ok(LookupOutcome::Records(vec![Record::new(
+                    name.clone(),
+                    60,
+                    RData::txt(&format!("v=spf1 a:%{{d1r}}.{n} a:b.{n} -all", n = name)),
+                )])),
+                RecordType::A => Ok(LookupOutcome::Records(vec![Record::new(
+                    name.clone(),
+                    60,
+                    RData::A("192.0.2.200".parse().expect("ip")),
+                )])),
+                _ => Ok(LookupOutcome::NoRecords),
+            }
+        }
+    }
+
+    c.bench_function("spf_check_host_full", |b| {
+        b.iter(|| {
+            let mut dns = ZoneDns;
+            let mut expander = CompliantExpander;
+            let mut eval = Evaluator::new(&mut dns, &mut expander);
+            eval.check_host(
+                black_box("203.0.113.25".parse().expect("ip")),
+                "mmj7yzdm0tbk",
+                "k7q2.s1.spf-test.dns-lab.org",
+            )
+        })
+    });
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let zone = Name::parse("spf-test.dns-lab.org").expect("name");
+    let entries: Vec<QueryLogEntry> = [
+        ("k7q2.s1.spf-test.dns-lab.org", RecordType::TXT),
+        (
+            "org.org.dns-lab.spf-test.s1.k7q2.k7q2.s1.spf-test.dns-lab.org",
+            RecordType::A,
+        ),
+        ("b.k7q2.s1.spf-test.dns-lab.org", RecordType::A),
+    ]
+    .iter()
+    .map(|(qname, qtype)| QueryLogEntry {
+        at: SimTime::EPOCH,
+        source: "198.51.100.1".parse().expect("ip"),
+        qname: Name::parse(qname).expect("name"),
+        qtype: *qtype,
+    })
+    .collect();
+    c.bench_function("probe_classify", |b| {
+        b.iter(|| classify(black_box(&entries), "k7q2", "s1", &zone))
+    });
+}
+
+criterion_group!(benches, bench_wire, bench_spf, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! # SPFail — reproduction of the IMC '22 measurement study
+//!
+//! This crate is the umbrella entry point for the reproduction of
+//! *"SPFail: Discovering, Measuring, and Remediating Vulnerabilities in
+//! Email Sender Validation"* (Bennett, Sowards, Deccio — IMC 2022).
+//!
+//! The paper discovered two heap-overflow vulnerabilities in libSPF2
+//! (CVE-2021-33912 and CVE-2021-33913), developed a *benign* technique to
+//! detect them remotely — the vulnerable library mangles SPF macro
+//! expansion in a unique way that is visible in the DNS queries a mail
+//! server sends while validating — and ran a four-month longitudinal
+//! measurement of patching across hundreds of thousands of domains.
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`netsim`]  | `spfail-netsim`  | deterministic simulation substrate |
+//! | [`dns`]     | `spfail-dns`     | names, wire format, zones, resolver, query log |
+//! | [`smtp`]    | `spfail-smtp`    | commands, replies, sessions, probe plans |
+//! | [`spf`]     | `spfail-spf`     | RFC 7208 records, macros, `check_host()` |
+//! | [`libspf2`] | `spfail-libspf2` | the vulnerable expansion over a simulated heap |
+//! | [`mta`]     | `spfail-mta`     | probeable mail servers |
+//! | [`world`]   | `spfail-world`   | the calibrated synthetic Internet |
+//! | [`prober`]  | `spfail-prober`  | NoMsg/BlankMsg probes, classification, campaigns |
+//! | [`notify`]  | `spfail-notify`  | the private-notification campaign |
+//! | [`report`]  | `spfail-report`  | every table and figure of the paper |
+//!
+//! ## Quick taste
+//!
+//! The paper's entire methodology in four lines — the same macro, three
+//! implementations, three different DNS queries:
+//!
+//! ```
+//! use spfail::spf::expand::{CompliantExpander, MacroContext, MacroExpander};
+//! use spfail::spf::macrostring::MacroString;
+//! use spfail::libspf2::LibSpf2Expander;
+//!
+//! let ms = MacroString::parse("%{d1r}.foo.com").unwrap();
+//! let ctx = MacroContext::new("user", "example.com", "192.0.2.3".parse().unwrap());
+//!
+//! assert_eq!(CompliantExpander.expand(&ms, &ctx, false).unwrap(),
+//!            "example.foo.com");                  // RFC 7208
+//! assert_eq!(LibSpf2Expander::vulnerable().expand(&ms, &ctx, false).unwrap(),
+//!            "com.com.example.foo.com");          // CVE-2021-33913's fingerprint
+//! assert_eq!(LibSpf2Expander::patched().expand(&ms, &ctx, false).unwrap(),
+//!            "example.foo.com");                  // after the fix
+//! ```
+//!
+//! See the `examples/` directory for runnable end-to-end scenarios and
+//! `cargo run -p spfail-report --release --bin experiments` to regenerate
+//! every exhibit in the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use spfail_dns as dns;
+pub use spfail_libspf2 as libspf2;
+pub use spfail_mta as mta;
+pub use spfail_netsim as netsim;
+pub use spfail_notify as notify;
+pub use spfail_prober as prober;
+pub use spfail_report as report;
+pub use spfail_smtp as smtp;
+pub use spfail_spf as spf;
+pub use spfail_world as world;
+
+/// The two CVE identifiers this reproduction models.
+pub const CVES: [&str; 2] = ["CVE-2021-33912", "CVE-2021-33913"];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn cve_identifiers() {
+        assert_eq!(super::CVES.len(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! An iterative resolver: root-hints → referral chasing, the way real
+//! recursion works (RFC 1034 §5.3.3).
+//!
+//! The campaign's [`crate::Resolver`] takes a shortcut — a longest-suffix
+//! directory from zone origins to authorities — because the measurement
+//! never depends on *how* the probed MTA's resolver walks the hierarchy.
+//! [`IterativeResolver`] implements the real walk over the same
+//! [`Authority`] trait: start at the root, follow NS referrals using glue
+//! addresses, and stop at an authoritative answer. The equivalence test in
+//! this module pins the two resolution strategies to identical outcomes
+//! over a delegated hierarchy, justifying the campaign's shortcut.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::{IpAddr, Ipv4Addr};
+use std::sync::Arc;
+
+use spfail_netsim::{SimRng, SimTime};
+
+use crate::authority::Authority;
+use crate::message::{Message, Rcode};
+use crate::name::Name;
+use crate::rdata::{RData, RecordType};
+
+/// Errors during an iterative walk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IterativeError {
+    /// A referral pointed at a nameserver with no usable glue.
+    NoGlue(Name),
+    /// No server is registered at the glued address.
+    UnknownServer(Ipv4Addr),
+    /// The referral chain exceeded the hop limit.
+    TooManyReferrals,
+    /// The authority answered with a failure rcode.
+    ServFail(Rcode),
+}
+
+impl fmt::Display for IterativeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IterativeError::NoGlue(n) => write!(f, "referral to {n} without glue"),
+            IterativeError::UnknownServer(ip) => write!(f, "no server at {ip}"),
+            IterativeError::TooManyReferrals => write!(f, "referral chain too long"),
+            IterativeError::ServFail(rc) => write!(f, "server failure: {rc}"),
+        }
+    }
+}
+
+impl std::error::Error for IterativeError {}
+
+/// The outcome of an iterative resolution, with the walk recorded.
+#[derive(Debug, Clone)]
+pub struct WalkResult {
+    /// The final authoritative response.
+    pub response: Message,
+    /// The addresses of the servers visited, in order (root first).
+    pub path: Vec<Ipv4Addr>,
+}
+
+/// A resolver that walks the delegation hierarchy from the root.
+pub struct IterativeResolver {
+    root_addr: Ipv4Addr,
+    servers: HashMap<Ipv4Addr, Arc<dyn Authority>>,
+    client: IpAddr,
+    max_referrals: usize,
+    next_id: u16,
+}
+
+impl IterativeResolver {
+    /// A resolver whose root hint is the server at `root_addr`.
+    pub fn new(root_addr: Ipv4Addr, client: IpAddr) -> IterativeResolver {
+        IterativeResolver {
+            root_addr,
+            servers: HashMap::new(),
+            client,
+            max_referrals: 16,
+            next_id: 1,
+        }
+    }
+
+    /// Register the authority listening at `addr`.
+    pub fn register(&mut self, addr: Ipv4Addr, authority: Arc<dyn Authority>) {
+        self.servers.insert(addr, authority);
+    }
+
+    /// Resolve `name`/`rtype` by walking referrals from the root.
+    pub fn resolve(
+        &mut self,
+        _rng: &mut SimRng,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+    ) -> Result<WalkResult, IterativeError> {
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let query = Message::query(id, name.clone(), rtype);
+
+        let mut current = self.root_addr;
+        let mut path = Vec::new();
+        for _hop in 0..self.max_referrals {
+            let server = self
+                .servers
+                .get(&current)
+                .ok_or(IterativeError::UnknownServer(current))?
+                .clone();
+            path.push(current);
+            let response = server.answer(&query, self.client, now);
+            match response.header.rcode {
+                Rcode::NoError | Rcode::NxDomain => {}
+                other => return Err(IterativeError::ServFail(other)),
+            }
+            // An authoritative answer (or authoritative negative) is final.
+            if response.header.authoritative
+                || !response.answers.is_empty()
+                || response.header.rcode == Rcode::NxDomain
+            {
+                return Ok(WalkResult { response, path });
+            }
+            // Otherwise it must be a referral: follow the first NS with
+            // usable glue.
+            let mut next = None;
+            for ns_record in &response.authorities {
+                let RData::Ns(host) = &ns_record.rdata else {
+                    continue;
+                };
+                let glued = response.additionals.iter().find_map(|g| match &g.rdata {
+                    RData::A(addr) if g.name == *host => Some(*addr),
+                    _ => None,
+                });
+                match glued {
+                    Some(addr) => {
+                        next = Some(addr);
+                        break;
+                    }
+                    None => return Err(IterativeError::NoGlue(host.clone())),
+                }
+            }
+            match next {
+                Some(addr) => current = addr,
+                None => {
+                    // No referral and no answer: NODATA from a
+                    // non-authoritative cache; treat as final.
+                    return Ok(WalkResult { response, path });
+                }
+            }
+        }
+        Err(IterativeError::TooManyReferrals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::StaticAuthority;
+    use crate::rdata::Record;
+    use crate::resolver::{Directory, LookupOutcome, Resolver};
+    use crate::zone::ZoneBuilder;
+    use spfail_netsim::{Link, SimClock};
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    /// A three-level hierarchy: root (".") → "org" → "dns-lab.org".
+    fn hierarchy() -> (IterativeResolver, Directory) {
+        let root_zone = ZoneBuilder::new(Name::root())
+            .record(Record::new(n("org"), 86_400, RData::Ns(n("a.gtld.net"))))
+            .a(&n("a.gtld.net"), 86_400, Ipv4Addr::new(192, 0, 2, 2))
+            .build();
+        let org_zone = ZoneBuilder::new(n("org"))
+            .record(Record::new(
+                n("dns-lab.org"),
+                86_400,
+                RData::Ns(n("ns1.dns-lab.org")),
+            ))
+            .a(&n("ns1.dns-lab.org"), 86_400, Ipv4Addr::new(192, 0, 2, 3))
+            .build();
+        let leaf_zone = ZoneBuilder::new(n("dns-lab.org"))
+            .a(&n("probe.dns-lab.org"), 300, Ipv4Addr::new(203, 0, 113, 25))
+            .txt(&n("dns-lab.org"), 300, "v=spf1 -all")
+            .build();
+
+        let root = Arc::new(StaticAuthority::new(root_zone));
+        let org = Arc::new(StaticAuthority::new(org_zone));
+        let leaf = Arc::new(StaticAuthority::new(leaf_zone));
+
+        let mut iterative =
+            IterativeResolver::new(Ipv4Addr::new(192, 0, 2, 1), "198.51.100.1".parse().unwrap());
+        iterative.register(Ipv4Addr::new(192, 0, 2, 1), root);
+        iterative.register(Ipv4Addr::new(192, 0, 2, 2), org);
+        iterative.register(Ipv4Addr::new(192, 0, 2, 3), leaf.clone());
+
+        // The campaign-style shortcut directory for the same data.
+        let directory = Directory::new();
+        directory.register(leaf);
+        (iterative, directory)
+    }
+
+    #[test]
+    fn walks_root_to_leaf() {
+        let (mut resolver, _) = hierarchy();
+        let mut rng = SimRng::new(1);
+        let result = resolver
+            .resolve(&mut rng, &n("probe.dns-lab.org"), RecordType::A, SimTime::EPOCH)
+            .unwrap();
+        assert_eq!(
+            result.path,
+            vec![
+                Ipv4Addr::new(192, 0, 2, 1),
+                Ipv4Addr::new(192, 0, 2, 2),
+                Ipv4Addr::new(192, 0, 2, 3),
+            ],
+            "root, org, then the leaf authority"
+        );
+        assert_eq!(result.response.answers.len(), 1);
+        assert!(result.response.header.authoritative);
+    }
+
+    #[test]
+    fn negative_answers_are_authoritative_from_the_leaf() {
+        let (mut resolver, _) = hierarchy();
+        let mut rng = SimRng::new(2);
+        let result = resolver
+            .resolve(&mut rng, &n("missing.dns-lab.org"), RecordType::A, SimTime::EPOCH)
+            .unwrap();
+        assert_eq!(result.response.header.rcode, Rcode::NxDomain);
+        assert_eq!(result.path.len(), 3);
+    }
+
+    #[test]
+    fn equivalent_to_the_directory_shortcut() {
+        // The same question through both resolution strategies must yield
+        // the same records — this pins the campaign's shortcut.
+        let (mut iterative, directory) = hierarchy();
+        let clock = SimClock::new();
+        let mut shortcut = Resolver::new(
+            directory,
+            Link::ideal(clock),
+            "198.51.100.1".parse().unwrap(),
+        );
+        let mut rng = SimRng::new(3);
+        for (qname, rtype) in [
+            ("probe.dns-lab.org", RecordType::A),
+            ("dns-lab.org", RecordType::TXT),
+        ] {
+            let walked = iterative
+                .resolve(&mut rng, &n(qname), rtype, SimTime::EPOCH)
+                .unwrap();
+            let direct = shortcut.resolve(&mut rng, &n(qname), rtype).unwrap();
+            match direct {
+                LookupOutcome::Records(records) => {
+                    assert_eq!(walked.response.answers, records, "{qname}");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_root_is_an_error() {
+        let mut resolver = IterativeResolver::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            "198.51.100.1".parse().unwrap(),
+        );
+        let mut rng = SimRng::new(4);
+        assert_eq!(
+            resolver
+                .resolve(&mut rng, &n("x.test"), RecordType::A, SimTime::EPOCH)
+                .unwrap_err(),
+            IterativeError::UnknownServer(Ipv4Addr::new(10, 0, 0, 1))
+        );
+    }
+
+    #[test]
+    fn referral_loop_is_bounded() {
+        // Two "roots" that refer to each other forever.
+        let zone_a = ZoneBuilder::new(Name::root())
+            .record(Record::new(n("test"), 60, RData::Ns(n("ns.test"))))
+            .a(&n("ns.test"), 60, Ipv4Addr::new(192, 0, 2, 20))
+            .build();
+        let zone_b = ZoneBuilder::new(Name::root())
+            .record(Record::new(n("test"), 60, RData::Ns(n("ns2.test"))))
+            .a(&n("ns2.test"), 60, Ipv4Addr::new(192, 0, 2, 10))
+            .build();
+        let mut resolver = IterativeResolver::new(
+            Ipv4Addr::new(192, 0, 2, 10),
+            "198.51.100.1".parse().unwrap(),
+        );
+        resolver.register(Ipv4Addr::new(192, 0, 2, 10), Arc::new(StaticAuthority::new(zone_a)));
+        resolver.register(Ipv4Addr::new(192, 0, 2, 20), Arc::new(StaticAuthority::new(zone_b)));
+        let mut rng = SimRng::new(5);
+        assert_eq!(
+            resolver
+                .resolve(&mut rng, &n("x.test"), RecordType::A, SimTime::EPOCH)
+                .unwrap_err(),
+            IterativeError::TooManyReferrals
+        );
+    }
+
+    #[test]
+    fn missing_glue_is_reported() {
+        let zone = ZoneBuilder::new(Name::root())
+            .record(Record::new(n("test"), 60, RData::Ns(n("ns.elsewhere.net"))))
+            .build();
+        let mut resolver = IterativeResolver::new(
+            Ipv4Addr::new(192, 0, 2, 1),
+            "198.51.100.1".parse().unwrap(),
+        );
+        resolver.register(Ipv4Addr::new(192, 0, 2, 1), Arc::new(StaticAuthority::new(zone)));
+        let mut rng = SimRng::new(6);
+        assert_eq!(
+            resolver
+                .resolve(&mut rng, &n("x.test"), RecordType::A, SimTime::EPOCH)
+                .unwrap_err(),
+            IterativeError::NoGlue(n("ns.elsewhere.net"))
+        );
+    }
+}

@@ -1,0 +1,292 @@
+//! DNS messages: headers, questions, and full query/response structures.
+
+use std::fmt;
+
+use crate::name::Name;
+use crate::rdata::{Record, RecordClass, RecordType};
+
+/// Operation codes. Only `Query` is used by the measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Opcode {
+    /// Standard query.
+    #[default]
+    Query,
+    /// Anything else, preserved by code point.
+    Other(u8),
+}
+
+impl Opcode {
+    /// The 4-bit code point.
+    pub fn code(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::Other(code) => code & 0x0f,
+        }
+    }
+
+    /// Construct from a 4-bit code point.
+    pub fn from_code(code: u8) -> Opcode {
+        match code & 0x0f {
+            0 => Opcode::Query,
+            other => Opcode::Other(other),
+        }
+    }
+}
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Rcode {
+    /// No error.
+    #[default]
+    NoError,
+    /// Malformed query.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist.
+    NxDomain,
+    /// Not implemented.
+    NotImp,
+    /// Refused by policy.
+    Refused,
+    /// Anything else, preserved by code point.
+    Other(u8),
+}
+
+impl Rcode {
+    /// The 4-bit code point.
+    pub fn code(self) -> u8 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::Other(code) => code & 0x0f,
+        }
+    }
+
+    /// Construct from a 4-bit code point.
+    pub fn from_code(code: u8) -> Rcode {
+        match code & 0x0f {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            other => Rcode::Other(other),
+        }
+    }
+}
+
+impl fmt::Display for Rcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rcode::NoError => write!(f, "NOERROR"),
+            Rcode::FormErr => write!(f, "FORMERR"),
+            Rcode::ServFail => write!(f, "SERVFAIL"),
+            Rcode::NxDomain => write!(f, "NXDOMAIN"),
+            Rcode::NotImp => write!(f, "NOTIMP"),
+            Rcode::Refused => write!(f, "REFUSED"),
+            Rcode::Other(code) => write!(f, "RCODE{code}"),
+        }
+    }
+}
+
+/// A DNS message header (RFC 1035 §4.1.1), minus the section counts, which
+/// are derived from the message body at encode time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Header {
+    /// Transaction identifier.
+    pub id: u16,
+    /// `true` for responses.
+    pub response: bool,
+    /// Operation code.
+    pub opcode: Opcode,
+    /// Authoritative answer.
+    pub authoritative: bool,
+    /// Truncated (response did not fit).
+    pub truncated: bool,
+    /// Recursion desired.
+    pub recursion_desired: bool,
+    /// Recursion available.
+    pub recursion_available: bool,
+    /// Response code.
+    pub rcode: Rcode,
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub name: Name,
+    /// Queried type.
+    pub qtype: RecordType,
+    /// Queried class.
+    pub qclass: RecordClass,
+}
+
+impl Question {
+    /// An `IN`-class question.
+    pub fn new(name: Name, qtype: RecordType) -> Question {
+        Question {
+            name,
+            qtype,
+            qclass: RecordClass::In,
+        }
+    }
+}
+
+impl fmt::Display for Question {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} IN {}", self.name, self.qtype)
+    }
+}
+
+/// A complete DNS message.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Message {
+    /// Header fields.
+    pub header: Header,
+    /// Question section.
+    pub questions: Vec<Question>,
+    /// Answer section.
+    pub answers: Vec<Record>,
+    /// Authority section.
+    pub authorities: Vec<Record>,
+    /// Additional section.
+    pub additionals: Vec<Record>,
+}
+
+impl Message {
+    /// A standard recursive query for `name`/`qtype`.
+    pub fn query(id: u16, name: Name, qtype: RecordType) -> Message {
+        Message {
+            header: Header {
+                id,
+                response: false,
+                recursion_desired: true,
+                ..Header::default()
+            },
+            questions: vec![Question::new(name, qtype)],
+            ..Message::default()
+        }
+    }
+
+    /// Start a response to `query`: copies the id, question, opcode and the
+    /// recursion-desired flag, and sets the response and authoritative bits.
+    pub fn respond_to(query: &Message) -> Message {
+        Message {
+            header: Header {
+                id: query.header.id,
+                response: true,
+                opcode: query.header.opcode,
+                authoritative: true,
+                recursion_desired: query.header.recursion_desired,
+                ..Header::default()
+            },
+            questions: query.questions.clone(),
+            ..Message::default()
+        }
+    }
+
+    /// Set the response code, builder-style.
+    pub fn with_rcode(mut self, rcode: Rcode) -> Message {
+        self.header.rcode = rcode;
+        self
+    }
+
+    /// Append an answer record, builder-style.
+    pub fn with_answer(mut self, record: Record) -> Message {
+        self.answers.push(record);
+        self
+    }
+
+    /// Append an authority record, builder-style.
+    pub fn with_authority(mut self, record: Record) -> Message {
+        self.authorities.push(record);
+        self
+    }
+
+    /// The first question, if any — the common case for this codebase.
+    pub fn question(&self) -> Option<&Question> {
+        self.questions.first()
+    }
+
+    /// Answer records matching `rtype`.
+    pub fn answers_of_type(&self, rtype: RecordType) -> impl Iterator<Item = &Record> {
+        self.answers
+            .iter()
+            .filter(move |r| r.record_type() == rtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+    use std::net::Ipv4Addr;
+
+    fn name(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn opcode_and_rcode_round_trip() {
+        for code in 0..16u8 {
+            assert_eq!(Opcode::from_code(code).code(), code);
+            assert_eq!(Rcode::from_code(code).code(), code);
+        }
+    }
+
+    #[test]
+    fn query_sets_expected_flags() {
+        let q = Message::query(99, name("example.com"), RecordType::TXT);
+        assert_eq!(q.header.id, 99);
+        assert!(!q.header.response);
+        assert!(q.header.recursion_desired);
+        assert_eq!(q.question().unwrap().qtype, RecordType::TXT);
+    }
+
+    #[test]
+    fn respond_to_copies_identity() {
+        let q = Message::query(7, name("a.example"), RecordType::A);
+        let r = Message::respond_to(&q)
+            .with_rcode(Rcode::NxDomain)
+            .with_answer(Record::new(
+                name("a.example"),
+                60,
+                RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+            ));
+        assert_eq!(r.header.id, 7);
+        assert!(r.header.response);
+        assert!(r.header.authoritative);
+        assert!(r.header.recursion_desired);
+        assert_eq!(r.header.rcode, Rcode::NxDomain);
+        assert_eq!(r.questions, q.questions);
+        assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn answers_of_type_filters() {
+        let mut m = Message::default();
+        m.answers.push(Record::new(
+            name("x"),
+            1,
+            RData::A(Ipv4Addr::new(192, 0, 2, 1)),
+        ));
+        m.answers
+            .push(Record::new(name("x"), 1, RData::txt("hello")));
+        assert_eq!(m.answers_of_type(RecordType::A).count(), 1);
+        assert_eq!(m.answers_of_type(RecordType::TXT).count(), 1);
+        assert_eq!(m.answers_of_type(RecordType::MX).count(), 0);
+    }
+
+    #[test]
+    fn rcode_display() {
+        assert_eq!(Rcode::NxDomain.to_string(), "NXDOMAIN");
+        assert_eq!(Rcode::NoError.to_string(), "NOERROR");
+    }
+}

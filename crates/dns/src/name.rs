@@ -1,0 +1,392 @@
+//! Domain names with RFC 1035 label semantics.
+//!
+//! Names are stored as a sequence of ASCII labels. Comparisons and hashing
+//! are case-insensitive, as required by RFC 1035 §2.3.3, while the original
+//! spelling is preserved for display. Label and name length limits are
+//! enforced at construction so the wire encoder never has to fail on an
+//! oversized name.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::str::FromStr;
+
+/// Maximum length of a single label, per RFC 1035.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum length of a full name on the wire (labels + length octets + root).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// Errors constructing a [`Name`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameError {
+    /// A label was empty (`foo..bar`).
+    EmptyLabel,
+    /// A label exceeded 63 octets.
+    LabelTooLong(String),
+    /// The whole name exceeded 255 octets in wire form.
+    NameTooLong,
+    /// A label contained a byte outside printable ASCII.
+    InvalidByte(u8),
+}
+
+impl fmt::Display for NameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NameError::EmptyLabel => write!(f, "empty label"),
+            NameError::LabelTooLong(l) => write!(f, "label too long: {:.16}...", l),
+            NameError::NameTooLong => write!(f, "name exceeds 255 octets"),
+            NameError::InvalidByte(b) => write!(f, "invalid byte 0x{b:02x} in label"),
+        }
+    }
+}
+
+impl std::error::Error for NameError {}
+
+/// A fully qualified domain name.
+///
+/// The root name has zero labels. `Name` values returned by the parser and
+/// all constructors are guaranteed to satisfy the RFC length limits.
+#[derive(Debug, Clone, Eq)]
+pub struct Name {
+    labels: Vec<String>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Name {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parse a dotted name. A single trailing dot is accepted and ignored;
+    /// an empty string or `"."` yields the root.
+    pub fn parse(s: &str) -> Result<Name, NameError> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        for label in s.split('.') {
+            labels.push(Self::check_label(label)?);
+        }
+        let name = Name { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    /// Construct from pre-split labels.
+    pub fn from_labels<I, S>(iter: I) -> Result<Name, NameError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut labels = Vec::new();
+        for label in iter {
+            labels.push(Self::check_label(label.as_ref())?);
+        }
+        let name = Name { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    fn check_label(label: &str) -> Result<String, NameError> {
+        if label.is_empty() {
+            return Err(NameError::EmptyLabel);
+        }
+        if label.len() > MAX_LABEL_LEN {
+            return Err(NameError::LabelTooLong(label.to_string()));
+        }
+        for &b in label.as_bytes() {
+            // Accept any printable ASCII except the label separator. SPF
+            // macro mishandling produces labels like `%{d1r}` that a strict
+            // hostname check would reject — and observing those on the wire
+            // is precisely the point of the measurement.
+            if !(0x21..=0x7e).contains(&b) || b == b'.' {
+                return Err(NameError::InvalidByte(b));
+            }
+        }
+        Ok(label.to_string())
+    }
+
+    fn check_total_len(&self) -> Result<(), NameError> {
+        if self.wire_len() > MAX_NAME_LEN {
+            return Err(NameError::NameTooLong);
+        }
+        Ok(())
+    }
+
+    /// Length of this name in RFC 1035 wire form (uncompressed).
+    pub fn wire_len(&self) -> usize {
+        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+    }
+
+    /// Number of labels (the root has zero).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether this is the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels, leftmost (deepest) first.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// The leftmost label, if any.
+    pub fn first_label(&self) -> Option<&str> {
+        self.labels.first().map(String::as_str)
+    }
+
+    /// The top-level domain (rightmost label), lowercased, if any.
+    pub fn tld(&self) -> Option<String> {
+        self.labels.last().map(|l| l.to_ascii_lowercase())
+    }
+
+    /// The parent name (this name minus its leftmost label). The root's
+    /// parent is the root.
+    pub fn parent(&self) -> Name {
+        if self.labels.is_empty() {
+            return Name::root();
+        }
+        Name {
+            labels: self.labels[1..].to_vec(),
+        }
+    }
+
+    /// Prepend a single label, returning the child name.
+    pub fn child(&self, label: &str) -> Result<Name, NameError> {
+        let mut labels = vec![Self::check_label(label)?];
+        labels.extend(self.labels.iter().cloned());
+        let name = Name { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    /// Concatenate: `self` prepended to `suffix` (i.e. `self.suffix`).
+    pub fn concat(&self, suffix: &Name) -> Result<Name, NameError> {
+        let mut labels = self.labels.clone();
+        labels.extend(suffix.labels.iter().cloned());
+        let name = Name { labels };
+        name.check_total_len()?;
+        Ok(name)
+    }
+
+    /// Case-insensitive test for whether `self` equals `other` or is a
+    /// subdomain of it. Every name is under the root.
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(other.labels.iter())
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+
+    /// Strip `suffix` from the end of the name, returning the remaining
+    /// prefix labels (deepest first), or `None` when `self` is not under
+    /// `suffix`.
+    pub fn strip_suffix(&self, suffix: &Name) -> Option<Vec<String>> {
+        if !self.is_subdomain_of(suffix) {
+            return None;
+        }
+        let keep = self.labels.len() - suffix.labels.len();
+        Some(self.labels[..keep].to_vec())
+    }
+
+    /// A copy with all labels lowercased (canonical form).
+    pub fn to_lowercase(&self) -> Name {
+        Name {
+            labels: self
+                .labels
+                .iter()
+                .map(|l| l.to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// The canonical ASCII representation without a trailing dot; the root
+    /// is rendered as `"."`.
+    pub fn to_ascii(&self) -> String {
+        if self.labels.is_empty() {
+            ".".to_string()
+        } else {
+            self.labels.join(".")
+        }
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(other.labels.iter())
+                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    }
+}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for label in &self.labels {
+            for b in label.as_bytes() {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+            state.write_u8(0);
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering: compare label sequences right-to-left,
+    /// case-insensitively (RFC 4034 §6.1, simplified to ASCII).
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.labels.iter().rev();
+        let b = other.labels.iter().rev();
+        for (la, lb) in a.zip(b) {
+            let ord = la
+                .to_ascii_lowercase()
+                .as_bytes()
+                .cmp(lb.to_ascii_lowercase().as_bytes());
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.labels.len().cmp(&other.labels.len())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii())
+    }
+}
+
+impl FromStr for Name {
+    type Err = NameError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        assert_eq!(n("example.com").to_ascii(), "example.com");
+        assert_eq!(n("example.com.").to_ascii(), "example.com");
+        assert_eq!(n(".").to_ascii(), ".");
+        assert_eq!(n("").to_ascii(), ".");
+        assert_eq!(format!("{}", n("Foo.Example.COM")), "Foo.Example.COM");
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert_eq!(Name::parse("foo..bar"), Err(NameError::EmptyLabel));
+        let long = "a".repeat(64);
+        assert!(matches!(
+            Name::parse(&format!("{long}.com")),
+            Err(NameError::LabelTooLong(_))
+        ));
+        assert!(matches!(
+            Name::parse("fo o.com"),
+            Err(NameError::InvalidByte(b' '))
+        ));
+    }
+
+    #[test]
+    fn accepts_macro_literal_labels() {
+        // A non-expanding SPF implementation queries for the literal macro.
+        let name = n("%{d1r}.abc.spf-test.dns-lab.org");
+        assert_eq!(name.first_label(), Some("%{d1r}"));
+    }
+
+    #[test]
+    fn rejects_overlong_names() {
+        let label = "a".repeat(63);
+        let s = vec![label; 5].join(".");
+        assert_eq!(Name::parse(&s), Err(NameError::NameTooLong));
+    }
+
+    #[test]
+    fn equality_is_case_insensitive() {
+        assert_eq!(n("Example.COM"), n("example.com"));
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(n("Example.COM"));
+        assert!(set.contains(&n("example.com")));
+    }
+
+    #[test]
+    fn subdomain_relationships() {
+        assert!(n("mail.example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&n("example.com")));
+        assert!(n("example.com").is_subdomain_of(&Name::root()));
+        assert!(!n("example.com").is_subdomain_of(&n("mail.example.com")));
+        assert!(!n("badexample.com").is_subdomain_of(&n("example.com")));
+        assert!(n("MAIL.EXAMPLE.com").is_subdomain_of(&n("example.COM")));
+    }
+
+    #[test]
+    fn strip_suffix_returns_prefix_labels() {
+        assert_eq!(
+            n("a.b.example.com").strip_suffix(&n("example.com")),
+            Some(vec!["a".to_string(), "b".to_string()])
+        );
+        assert_eq!(n("a.example.com").strip_suffix(&n("other.com")), None);
+        assert_eq!(n("example.com").strip_suffix(&n("example.com")), Some(vec![]));
+    }
+
+    #[test]
+    fn parent_and_child() {
+        assert_eq!(n("a.b.c").parent(), n("b.c"));
+        assert_eq!(Name::root().parent(), Name::root());
+        assert_eq!(n("b.c").child("a").unwrap(), n("a.b.c"));
+        assert_eq!(n("x").concat(&n("y.z")).unwrap(), n("x.y.z"));
+    }
+
+    #[test]
+    fn tld_and_first_label() {
+        assert_eq!(n("mail.example.com").tld(), Some("com".to_string()));
+        assert_eq!(n("mail.example.COM").tld(), Some("com".to_string()));
+        assert_eq!(Name::root().tld(), None);
+        assert_eq!(n("mail.example.com").first_label(), Some("mail"));
+    }
+
+    #[test]
+    fn canonical_ordering_right_to_left() {
+        let mut names = [n("b.com"), n("a.org"), n("a.com"), n("com")];
+        names.sort();
+        assert_eq!(
+            names.iter().map(|x| x.to_ascii()).collect::<Vec<_>>(),
+            vec!["com", "a.com", "b.com", "a.org"]
+        );
+    }
+
+    #[test]
+    fn wire_len_counts_length_octets_and_root() {
+        assert_eq!(Name::root().wire_len(), 1);
+        // 7example3com0 -> 1+7 + 1+3 + 1 = 13
+        assert_eq!(n("example.com").wire_len(), 13);
+    }
+
+    #[test]
+    fn lowercase_copy() {
+        assert_eq!(n("FoO.CoM").to_lowercase().to_ascii(), "foo.com");
+    }
+}

@@ -1,0 +1,165 @@
+//! The shared, timestamped query log.
+//!
+//! The paper's classifier never sees the probed MTA directly — it sees the
+//! queries the MTA's SPF validator sends to the measurement DNS server.
+//! [`QueryLog`] is that server's log: every query is recorded with its
+//! source address and simulated arrival time, and the prober later filters
+//! by the unique `<id>.<suite>` labels embedded in the queried names.
+
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spfail_netsim::SimTime;
+
+use crate::name::Name;
+use crate::rdata::RecordType;
+
+/// One logged query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// Simulated arrival time.
+    pub at: SimTime,
+    /// Source address of the query (the resolver the MTA used; for this
+    /// simulation, the MTA itself).
+    pub source: IpAddr,
+    /// The queried name, exactly as received.
+    pub qname: Name,
+    /// The queried type.
+    pub qtype: RecordType,
+}
+
+/// A shared, append-only query log. Clones observe the same log.
+#[derive(Debug, Clone, Default)]
+pub struct QueryLog {
+    entries: Arc<Mutex<Vec<QueryLogEntry>>>,
+}
+
+impl QueryLog {
+    /// An empty log.
+    pub fn new() -> QueryLog {
+        QueryLog::default()
+    }
+
+    /// Append an entry.
+    pub fn record(&self, entry: QueryLogEntry) {
+        self.entries.lock().push(entry);
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Snapshot of all entries.
+    pub fn snapshot(&self) -> Vec<QueryLogEntry> {
+        self.entries.lock().clone()
+    }
+
+    /// Entries whose queried name contains `label` as one of its labels
+    /// (case-insensitively) — the lookup pattern for probe ids.
+    pub fn entries_with_label(&self, label: &str) -> Vec<QueryLogEntry> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| {
+                e.qname
+                    .labels()
+                    .iter()
+                    .any(|l| l.eq_ignore_ascii_case(label))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Entries under `suffix`, e.g. all queries into the measurement zone.
+    pub fn entries_under(&self, suffix: &Name) -> Vec<QueryLogEntry> {
+        self.entries
+            .lock()
+            .iter()
+            .filter(|e| e.qname.is_subdomain_of(suffix))
+            .cloned()
+            .collect()
+    }
+
+    /// Entries appended at or after index `start` — probes record the log
+    /// length before the exchange and read back only their own window,
+    /// keeping classification O(probe) instead of O(campaign).
+    pub fn entries_from(&self, start: usize) -> Vec<QueryLogEntry> {
+        let entries = self.entries.lock();
+        entries.get(start..).map(<[QueryLogEntry]>::to_vec).unwrap_or_default()
+    }
+
+    /// Drop all entries recorded before `cutoff`; returns how many were
+    /// dropped. Long campaigns call this between rounds to bound memory.
+    pub fn prune_before(&self, cutoff: SimTime) -> usize {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        entries.retain(|e| e.at >= cutoff);
+        before - entries.len()
+    }
+
+    /// Clear the log entirely.
+    pub fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfail_netsim::SimDuration;
+
+    fn entry(at_secs: u64, qname: &str) -> QueryLogEntry {
+        QueryLogEntry {
+            at: SimTime::EPOCH + SimDuration::from_secs(at_secs),
+            source: "192.0.2.10".parse().unwrap(),
+            qname: Name::parse(qname).unwrap(),
+            qtype: RecordType::A,
+        }
+    }
+
+    #[test]
+    fn clones_share_entries() {
+        let log = QueryLog::new();
+        let log2 = log.clone();
+        log.record(entry(1, "a.test"));
+        assert_eq!(log2.len(), 1);
+    }
+
+    #[test]
+    fn filter_by_label_is_case_insensitive() {
+        let log = QueryLog::new();
+        log.record(entry(1, "com.com.example.K7Q2.suite1.spf-test.dns-lab.org"));
+        log.record(entry(2, "b.other.suite1.spf-test.dns-lab.org"));
+        assert_eq!(log.entries_with_label("k7q2").len(), 1);
+        assert_eq!(log.entries_with_label("missing").len(), 0);
+    }
+
+    #[test]
+    fn filter_by_suffix() {
+        let log = QueryLog::new();
+        log.record(entry(1, "x.spf-test.dns-lab.org"));
+        log.record(entry(2, "example.com"));
+        let zone = Name::parse("spf-test.dns-lab.org").unwrap();
+        assert_eq!(log.entries_under(&zone).len(), 1);
+    }
+
+    #[test]
+    fn prune_before_drops_old_entries() {
+        let log = QueryLog::new();
+        log.record(entry(1, "a.test"));
+        log.record(entry(100, "b.test"));
+        let dropped = log.prune_before(SimTime::EPOCH + SimDuration::from_secs(50));
+        assert_eq!(dropped, 1);
+        assert_eq!(log.len(), 1);
+        log.clear();
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,325 @@
+//! Resource record types and data.
+
+use std::fmt;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::name::Name;
+
+/// DNS record types used by the measurement. Unknown types round-trip
+/// through [`RecordType::Other`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RecordType {
+    /// IPv4 host address.
+    A,
+    /// IPv6 host address.
+    AAAA,
+    /// Mail exchanger.
+    MX,
+    /// Text record (carries SPF policies).
+    TXT,
+    /// Authoritative name server.
+    NS,
+    /// Canonical name alias.
+    CNAME,
+    /// Start of authority.
+    SOA,
+    /// Reverse pointer.
+    PTR,
+    /// The deprecated SPF RRTYPE (99); some old validators still query it.
+    SPF,
+    /// Any other type, preserved by code point.
+    Other(u16),
+}
+
+impl RecordType {
+    /// The IANA code point.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordType::A => 1,
+            RecordType::NS => 2,
+            RecordType::CNAME => 5,
+            RecordType::SOA => 6,
+            RecordType::PTR => 12,
+            RecordType::MX => 15,
+            RecordType::TXT => 16,
+            RecordType::AAAA => 28,
+            RecordType::SPF => 99,
+            RecordType::Other(code) => code,
+        }
+    }
+
+    /// Construct from an IANA code point.
+    pub fn from_code(code: u16) -> RecordType {
+        match code {
+            1 => RecordType::A,
+            2 => RecordType::NS,
+            5 => RecordType::CNAME,
+            6 => RecordType::SOA,
+            12 => RecordType::PTR,
+            15 => RecordType::MX,
+            16 => RecordType::TXT,
+            28 => RecordType::AAAA,
+            99 => RecordType::SPF,
+            other => RecordType::Other(other),
+        }
+    }
+
+    /// Whether this is an address type (A or AAAA).
+    pub fn is_address(self) -> bool {
+        matches!(self, RecordType::A | RecordType::AAAA)
+    }
+}
+
+impl fmt::Display for RecordType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordType::A => write!(f, "A"),
+            RecordType::AAAA => write!(f, "AAAA"),
+            RecordType::MX => write!(f, "MX"),
+            RecordType::TXT => write!(f, "TXT"),
+            RecordType::NS => write!(f, "NS"),
+            RecordType::CNAME => write!(f, "CNAME"),
+            RecordType::SOA => write!(f, "SOA"),
+            RecordType::PTR => write!(f, "PTR"),
+            RecordType::SPF => write!(f, "SPF"),
+            RecordType::Other(code) => write!(f, "TYPE{code}"),
+        }
+    }
+}
+
+/// DNS classes. Only `IN` matters here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecordClass {
+    /// Internet.
+    #[default]
+    In,
+    /// Anything else, preserved by code point.
+    Other(u16),
+}
+
+impl RecordClass {
+    /// The IANA code point.
+    pub fn code(self) -> u16 {
+        match self {
+            RecordClass::In => 1,
+            RecordClass::Other(code) => code,
+        }
+    }
+
+    /// Construct from an IANA code point.
+    pub fn from_code(code: u16) -> RecordClass {
+        match code {
+            1 => RecordClass::In,
+            other => RecordClass::Other(other),
+        }
+    }
+}
+
+/// Start-of-authority fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Soa {
+    /// Primary name server.
+    pub mname: Name,
+    /// Responsible mailbox, encoded as a name.
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Refresh interval in seconds.
+    pub refresh: u32,
+    /// Retry interval in seconds.
+    pub retry: u32,
+    /// Expiry in seconds.
+    pub expire: u32,
+    /// Negative-caching TTL in seconds.
+    pub minimum: u32,
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// IPv4 address.
+    A(Ipv4Addr),
+    /// IPv6 address.
+    Aaaa(Ipv6Addr),
+    /// Mail exchanger: preference and host.
+    Mx {
+        /// Lower is preferred.
+        preference: u16,
+        /// The exchange host name.
+        exchange: Name,
+    },
+    /// Text data as character strings of up to 255 octets each.
+    Txt(Vec<String>),
+    /// Name-server host.
+    Ns(Name),
+    /// Alias target.
+    Cname(Name),
+    /// Start of authority.
+    Soa(Soa),
+    /// Reverse pointer target.
+    Ptr(Name),
+    /// Opaque data for unknown types.
+    Opaque(Vec<u8>),
+}
+
+impl RData {
+    /// The record type this data belongs to.
+    pub fn record_type(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::AAAA,
+            RData::Mx { .. } => RecordType::MX,
+            RData::Txt(_) => RecordType::TXT,
+            RData::Ns(_) => RecordType::NS,
+            RData::Cname(_) => RecordType::CNAME,
+            RData::Soa(_) => RecordType::SOA,
+            RData::Ptr(_) => RecordType::PTR,
+            RData::Opaque(_) => RecordType::Other(0),
+        }
+    }
+
+    /// Build a TXT record's data from one logical string, splitting it into
+    /// 255-octet character strings as the wire format requires. SPF policies
+    /// longer than 255 octets rely on this (RFC 7208 §3.3).
+    pub fn txt(content: &str) -> RData {
+        if content.is_empty() {
+            return RData::Txt(vec![String::new()]);
+        }
+        let bytes = content.as_bytes();
+        let mut chunks = Vec::new();
+        let mut start = 0;
+        while start < bytes.len() {
+            let end = (start + 255).min(bytes.len());
+            chunks.push(String::from_utf8_lossy(&bytes[start..end]).into_owned());
+            start = end;
+        }
+        RData::Txt(chunks)
+    }
+
+    /// For TXT data, the logical string: all character strings concatenated
+    /// without separators (RFC 7208 §3.3). `None` for other types.
+    pub fn txt_joined(&self) -> Option<String> {
+        match self {
+            RData::Txt(parts) => Some(parts.concat()),
+            _ => None,
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Owner name.
+    pub name: Name,
+    /// Record class (always `IN` here).
+    pub class: RecordClass,
+    /// Time to live, in seconds.
+    pub ttl: u32,
+    /// Typed data.
+    pub rdata: RData,
+}
+
+impl Record {
+    /// A record with class `IN`.
+    pub fn new(name: Name, ttl: u32, rdata: RData) -> Record {
+        Record {
+            name,
+            class: RecordClass::In,
+            ttl,
+            rdata,
+        }
+    }
+
+    /// The record's type, derived from its data.
+    pub fn record_type(&self) -> RecordType {
+        self.rdata.record_type()
+    }
+}
+
+impl fmt::Display for Record {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} IN {}", self.name, self.ttl, self.record_type())?;
+        match &self.rdata {
+            RData::A(ip) => write!(f, " {ip}"),
+            RData::Aaaa(ip) => write!(f, " {ip}"),
+            RData::Mx {
+                preference,
+                exchange,
+            } => write!(f, " {preference} {exchange}"),
+            RData::Txt(parts) => {
+                for p in parts {
+                    write!(f, " \"{p}\"")?;
+                }
+                Ok(())
+            }
+            RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => write!(f, " {n}"),
+            RData::Soa(soa) => write!(
+                f,
+                " {} {} {} {} {} {} {}",
+                soa.mname, soa.rname, soa.serial, soa.refresh, soa.retry, soa.expire, soa.minimum
+            ),
+            RData::Opaque(bytes) => write!(f, " \\# {}", bytes.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_codes_round_trip() {
+        for t in [
+            RecordType::A,
+            RecordType::AAAA,
+            RecordType::MX,
+            RecordType::TXT,
+            RecordType::NS,
+            RecordType::CNAME,
+            RecordType::SOA,
+            RecordType::PTR,
+            RecordType::SPF,
+            RecordType::Other(4711),
+        ] {
+            assert_eq!(RecordType::from_code(t.code()), t);
+        }
+    }
+
+    #[test]
+    fn txt_chunking_splits_at_255() {
+        let long = "x".repeat(600);
+        let RData::Txt(parts) = RData::txt(&long) else {
+            panic!("not txt");
+        };
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 255);
+        assert_eq!(parts[1].len(), 255);
+        assert_eq!(parts[2].len(), 90);
+        assert_eq!(RData::txt(&long).txt_joined().unwrap(), long);
+    }
+
+    #[test]
+    fn txt_empty_is_single_empty_string() {
+        assert_eq!(RData::txt(""), RData::Txt(vec![String::new()]));
+    }
+
+    #[test]
+    fn record_display_is_zone_file_like() {
+        let r = Record::new(
+            Name::parse("example.com").unwrap(),
+            300,
+            RData::Mx {
+                preference: 10,
+                exchange: Name::parse("mx1.example.com").unwrap(),
+            },
+        );
+        assert_eq!(r.to_string(), "example.com 300 IN MX 10 mx1.example.com");
+    }
+
+    #[test]
+    fn address_predicate() {
+        assert!(RecordType::A.is_address());
+        assert!(RecordType::AAAA.is_address());
+        assert!(!RecordType::TXT.is_address());
+    }
+}

@@ -1,0 +1,561 @@
+//! A caching resolver over a directory of authorities.
+//!
+//! The simulation replaces the Internet's recursive-resolution machinery
+//! with a [`Directory`]: a longest-suffix-match registry from zone origins
+//! to [`Authority`] handles. A [`Resolver`] walks the directory, follows
+//! CNAME chains, caches positive and negative answers by TTL against the
+//! shared simulated clock, and charges every authoritative round trip to a
+//! [`Link`].
+//!
+//! The paper's probe design defeats caching deliberately (every probe uses
+//! a unique label); the resolver cache exists so that *that design choice
+//! can be measured* — see the `ablation_cache_bypass` benchmark.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use spfail_netsim::{Link, Metrics, SimDuration, SimRng, SimTime};
+
+use crate::authority::Authority;
+use crate::message::{Message, Rcode};
+use crate::name::Name;
+use crate::rdata::{RData, Record, RecordType};
+
+/// Longest-suffix-match registry of authorities.
+#[derive(Clone, Default)]
+pub struct Directory {
+    authorities: Arc<Mutex<Vec<Arc<dyn Authority>>>>,
+}
+
+impl Directory {
+    /// An empty directory.
+    pub fn new() -> Directory {
+        Directory::default()
+    }
+
+    /// Register an authority. Later registrations win ties, which makes it
+    /// easy to shadow a zone in tests.
+    pub fn register(&self, authority: Arc<dyn Authority>) {
+        self.authorities.lock().push(authority);
+    }
+
+    /// The authority with the longest origin that is a suffix of `name`.
+    pub fn authority_for(&self, name: &Name) -> Option<Arc<dyn Authority>> {
+        let authorities = self.authorities.lock();
+        authorities
+            .iter()
+            .filter(|a| name.is_subdomain_of(a.origin()))
+            .max_by_key(|a| {
+                // Prefer deeper origins; among equals prefer the most recent.
+                let depth = a.origin().label_count();
+                let index = authorities
+                    .iter()
+                    .position(|b| Arc::ptr_eq(a, b))
+                    .unwrap_or(0);
+                (depth, index)
+            })
+            .cloned()
+    }
+
+    /// Number of registered authorities.
+    pub fn len(&self) -> usize {
+        self.authorities.lock().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.authorities.lock().is_empty()
+    }
+}
+
+impl fmt::Debug for Directory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Directory({} authorities)", self.len())
+    }
+}
+
+/// Outcome of a successful resolution exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupOutcome {
+    /// Records of the requested type (CNAME chains already followed).
+    Records(Vec<Record>),
+    /// The name does not exist.
+    NxDomain,
+    /// The name exists but has no data of the requested type.
+    NoRecords,
+}
+
+impl LookupOutcome {
+    /// Whether this outcome is a "void lookup" in RFC 7208 §4.6.4 terms.
+    pub fn is_void(&self) -> bool {
+        !matches!(self, LookupOutcome::Records(_))
+    }
+
+    /// The records, if any.
+    pub fn records(&self) -> &[Record] {
+        match self {
+            LookupOutcome::Records(r) => r,
+            _ => &[],
+        }
+    }
+}
+
+/// Errors that prevent any outcome at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupError {
+    /// No registered authority covers the name.
+    NoAuthority(Name),
+    /// The query or its response was lost and retries were exhausted.
+    Timeout,
+    /// The authority returned SERVFAIL/REFUSED.
+    ServFail(Rcode),
+    /// A CNAME chain exceeded the depth limit.
+    CnameChainTooLong,
+}
+
+impl fmt::Display for LookupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LookupError::NoAuthority(n) => write!(f, "no authority for {n}"),
+            LookupError::Timeout => write!(f, "query timed out"),
+            LookupError::ServFail(rc) => write!(f, "server failure: {rc}"),
+            LookupError::CnameChainTooLong => write!(f, "CNAME chain too long"),
+        }
+    }
+}
+
+impl std::error::Error for LookupError {}
+
+/// Resolver tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ResolverConfig {
+    /// Whether positive/negative caching is enabled.
+    pub cache_enabled: bool,
+    /// Per-query timeout charged when a datagram is lost.
+    pub query_timeout: SimDuration,
+    /// Retransmissions after a lost datagram.
+    pub retries: u32,
+    /// Maximum CNAME chain length.
+    pub max_cname_depth: u32,
+    /// Maximum UDP payload before the server truncates and the resolver
+    /// retries over TCP (classic 512-byte limit, RFC 1035 §4.2.1).
+    pub max_udp_payload: usize,
+}
+
+impl Default for ResolverConfig {
+    fn default() -> Self {
+        ResolverConfig {
+            cache_enabled: true,
+            query_timeout: SimDuration::from_secs(3),
+            retries: 2,
+            max_cname_depth: 8,
+            max_udp_payload: 512,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    expires: SimTime,
+    outcome: LookupOutcome,
+}
+
+/// A caching resolver bound to one client address.
+pub struct Resolver {
+    directory: Directory,
+    link: Link,
+    client: IpAddr,
+    config: ResolverConfig,
+    cache: HashMap<(Name, RecordType), CacheEntry>,
+    metrics: Metrics,
+    next_id: u16,
+}
+
+impl Resolver {
+    /// A resolver for `client`, querying through `link`.
+    pub fn new(directory: Directory, link: Link, client: IpAddr) -> Resolver {
+        Resolver::with_config(directory, link, client, ResolverConfig::default())
+    }
+
+    /// A resolver with explicit configuration.
+    pub fn with_config(
+        directory: Directory,
+        link: Link,
+        client: IpAddr,
+        config: ResolverConfig,
+    ) -> Resolver {
+        let metrics = link.metrics().clone();
+        Resolver {
+            directory,
+            link,
+            client,
+            config,
+            cache: HashMap::new(),
+            metrics,
+            next_id: 1,
+        }
+    }
+
+    /// The client address queries are attributed to.
+    pub fn client(&self) -> IpAddr {
+        self.client
+    }
+
+    /// Drop all cached entries.
+    pub fn flush_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Resolve `name`/`rtype`, following CNAME chains.
+    pub fn resolve(
+        &mut self,
+        rng: &mut SimRng,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Result<LookupOutcome, LookupError> {
+        let mut current = name.clone();
+        let mut collected: Vec<Record> = Vec::new();
+        for _depth in 0..=self.config.max_cname_depth {
+            let outcome = self.resolve_one(rng, &current, rtype)?;
+            match &outcome {
+                LookupOutcome::Records(records) => {
+                    // A CNAME answer redirects unless CNAME itself was asked.
+                    let cname = records
+                        .iter()
+                        .find(|r| r.record_type() == RecordType::CNAME);
+                    match (cname, rtype) {
+                        (Some(alias), t) if t != RecordType::CNAME => {
+                            if let RData::Cname(target) = &alias.rdata {
+                                collected.push(alias.clone());
+                                current = target.clone();
+                                continue;
+                            }
+                            return Ok(outcome);
+                        }
+                        _ => {
+                            collected.extend(records.iter().cloned());
+                            return Ok(LookupOutcome::Records(collected));
+                        }
+                    }
+                }
+                _ if collected.is_empty() => return Ok(outcome),
+                // A chain ending in NXDOMAIN/NODATA yields just the chain.
+                _ => return Ok(LookupOutcome::Records(collected)),
+            }
+        }
+        Err(LookupError::CnameChainTooLong)
+    }
+
+    fn resolve_one(
+        &mut self,
+        rng: &mut SimRng,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Result<LookupOutcome, LookupError> {
+        let now = self.link.clock().now();
+        let key = (name.to_lowercase(), rtype);
+        if self.config.cache_enabled {
+            if let Some(entry) = self.cache.get(&key) {
+                if entry.expires > now {
+                    self.metrics.inc_dns_cache_hits();
+                    return Ok(entry.outcome.clone());
+                }
+                self.cache.remove(&key);
+            }
+        }
+
+        let authority = self
+            .directory
+            .authority_for(name)
+            .ok_or_else(|| LookupError::NoAuthority(name.clone()))?;
+
+        let id = self.next_id;
+        self.next_id = self.next_id.wrapping_add(1).max(1);
+        let query = Message::query(id, name.clone(), rtype);
+
+        let mut attempts = 0;
+        let response = loop {
+            attempts += 1;
+            self.metrics.inc_dns_queries();
+            let obs = self
+                .link
+                .datagram(rng, estimate_query_size(name), self.config.query_timeout);
+            if obs.is_ok() {
+                break authority.answer(&query, self.client, self.link.clock().now());
+            }
+            if attempts > self.config.retries {
+                return Err(LookupError::Timeout);
+            }
+        };
+
+        // RFC 1035 §4.2.1: responses that do not fit the UDP payload come
+        // back truncated (TC) and the client retries over TCP — an extra
+        // connection's worth of round trips, charged to the link.
+        let wire_len = crate::wire::encode(&response).len();
+        if wire_len > self.config.max_udp_payload {
+            self.metrics.inc_dns_truncated();
+            // TCP handshake + the re-sent query and full response.
+            let _ = self.link.turn(rng, estimate_query_size(name));
+            let _ = self.link.turn(rng, wire_len);
+        }
+
+        let outcome = match response.header.rcode {
+            Rcode::NoError => {
+                if response.answers.is_empty() {
+                    LookupOutcome::NoRecords
+                } else {
+                    LookupOutcome::Records(response.answers.clone())
+                }
+            }
+            Rcode::NxDomain => LookupOutcome::NxDomain,
+            other => return Err(LookupError::ServFail(other)),
+        };
+
+        if self.config.cache_enabled {
+            let ttl = match &outcome {
+                LookupOutcome::Records(records) => {
+                    records.iter().map(|r| r.ttl).min().unwrap_or(0)
+                }
+                // Negative TTL from the SOA minimum, when present.
+                _ => response
+                    .authorities
+                    .iter()
+                    .find_map(|r| match &r.rdata {
+                        RData::Soa(soa) => Some(soa.minimum.min(r.ttl)),
+                        _ => None,
+                    })
+                    .unwrap_or(60),
+            };
+            self.cache.insert(
+                key,
+                CacheEntry {
+                    expires: now + SimDuration::from_secs(u64::from(ttl)),
+                    outcome: outcome.clone(),
+                },
+            );
+        }
+        Ok(outcome)
+    }
+}
+
+/// Rough wire size of a query for accounting purposes.
+fn estimate_query_size(name: &Name) -> usize {
+    12 + name.wire_len() + 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::StaticAuthority;
+    use crate::zone::ZoneBuilder;
+    use spfail_netsim::{FaultPlan, LatencyModel, SimClock};
+    use std::net::Ipv4Addr;
+
+    fn n(s: &str) -> Name {
+        Name::parse(s).unwrap()
+    }
+
+    fn setup() -> (Directory, SimClock) {
+        let directory = Directory::new();
+        let zone = ZoneBuilder::new(n("example.com"))
+            .a(&n("example.com"), 300, Ipv4Addr::new(192, 0, 2, 1))
+            .a(&n("mx.example.com"), 300, Ipv4Addr::new(192, 0, 2, 25))
+            .mx(&n("example.com"), 300, 10, &n("mx.example.com"))
+            .record(Record::new(
+                n("www.example.com"),
+                300,
+                RData::Cname(n("example.com")),
+            ))
+            .build();
+        directory.register(Arc::new(StaticAuthority::new(zone)));
+        (directory, SimClock::new())
+    }
+
+    fn resolver(directory: &Directory, clock: &SimClock) -> Resolver {
+        Resolver::new(
+            directory.clone(),
+            Link::ideal(clock.clone()),
+            "198.51.100.1".parse().unwrap(),
+        )
+    }
+
+    #[test]
+    fn resolves_a_records() {
+        let (dir, clock) = setup();
+        let mut r = resolver(&dir, &clock);
+        let mut rng = SimRng::new(1);
+        let outcome = r.resolve(&mut rng, &n("example.com"), RecordType::A).unwrap();
+        assert_eq!(outcome.records().len(), 1);
+    }
+
+    #[test]
+    fn follows_cname_chain() {
+        let (dir, clock) = setup();
+        let mut r = resolver(&dir, &clock);
+        let mut rng = SimRng::new(2);
+        let outcome = r
+            .resolve(&mut rng, &n("www.example.com"), RecordType::A)
+            .unwrap();
+        let records = outcome.records();
+        assert_eq!(records.len(), 2, "CNAME + target A");
+        assert_eq!(records[0].record_type(), RecordType::CNAME);
+        assert_eq!(records[1].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 1)));
+    }
+
+    #[test]
+    fn nxdomain_and_nodata_are_void() {
+        let (dir, clock) = setup();
+        let mut r = resolver(&dir, &clock);
+        let mut rng = SimRng::new(3);
+        let nx = r
+            .resolve(&mut rng, &n("missing.example.com"), RecordType::A)
+            .unwrap();
+        assert_eq!(nx, LookupOutcome::NxDomain);
+        assert!(nx.is_void());
+        let nodata = r
+            .resolve(&mut rng, &n("example.com"), RecordType::AAAA)
+            .unwrap();
+        assert_eq!(nodata, LookupOutcome::NoRecords);
+        assert!(nodata.is_void());
+    }
+
+    #[test]
+    fn no_authority_is_an_error() {
+        let (dir, clock) = setup();
+        let mut r = resolver(&dir, &clock);
+        let mut rng = SimRng::new(4);
+        assert!(matches!(
+            r.resolve(&mut rng, &n("unknown.test"), RecordType::A),
+            Err(LookupError::NoAuthority(_))
+        ));
+    }
+
+    #[test]
+    fn cache_serves_repeat_queries() {
+        let (dir, clock) = setup();
+        let metrics = Metrics::new();
+        let link = Link::new(
+            LatencyModel::ZERO,
+            FaultPlan::NONE,
+            clock.clone(),
+            metrics.clone(),
+        );
+        let mut r = Resolver::new(dir, link, "198.51.100.1".parse().unwrap());
+        let mut rng = SimRng::new(5);
+        r.resolve(&mut rng, &n("example.com"), RecordType::A).unwrap();
+        r.resolve(&mut rng, &n("example.com"), RecordType::A).unwrap();
+        assert_eq!(metrics.dns_queries(), 1);
+        assert_eq!(metrics.dns_cache_hits(), 1);
+    }
+
+    #[test]
+    fn cache_expires_with_ttl() {
+        let (dir, clock) = setup();
+        let metrics = Metrics::new();
+        let link = Link::new(
+            LatencyModel::ZERO,
+            FaultPlan::NONE,
+            clock.clone(),
+            metrics.clone(),
+        );
+        let mut r = Resolver::new(dir, link, "198.51.100.1".parse().unwrap());
+        let mut rng = SimRng::new(6);
+        r.resolve(&mut rng, &n("example.com"), RecordType::A).unwrap();
+        clock.advance(SimDuration::from_secs(301));
+        r.resolve(&mut rng, &n("example.com"), RecordType::A).unwrap();
+        assert_eq!(metrics.dns_queries(), 2);
+    }
+
+    #[test]
+    fn cache_can_be_disabled() {
+        let (dir, clock) = setup();
+        let metrics = Metrics::new();
+        let link = Link::new(
+            LatencyModel::ZERO,
+            FaultPlan::NONE,
+            clock.clone(),
+            metrics.clone(),
+        );
+        let config = ResolverConfig {
+            cache_enabled: false,
+            ..ResolverConfig::default()
+        };
+        let mut r = Resolver::with_config(dir, link, "198.51.100.1".parse().unwrap(), config);
+        let mut rng = SimRng::new(7);
+        r.resolve(&mut rng, &n("example.com"), RecordType::A).unwrap();
+        r.resolve(&mut rng, &n("example.com"), RecordType::A).unwrap();
+        assert_eq!(metrics.dns_queries(), 2);
+        assert_eq!(metrics.dns_cache_hits(), 0);
+    }
+
+    #[test]
+    fn lost_datagrams_exhaust_retries() {
+        let (dir, clock) = setup();
+        let link = Link::new(
+            LatencyModel::ZERO,
+            FaultPlan {
+                drop_chance: 1.0,
+                ..FaultPlan::NONE
+            },
+            clock.clone(),
+            Metrics::new(),
+        );
+        let mut r = Resolver::new(dir, link, "198.51.100.1".parse().unwrap());
+        let mut rng = SimRng::new(8);
+        let before = clock.now();
+        let err = r.resolve(&mut rng, &n("example.com"), RecordType::A);
+        assert_eq!(err, Err(LookupError::Timeout));
+        // 1 try + 2 retries, 3 seconds each.
+        assert_eq!((clock.now() - before).as_secs(), 9);
+    }
+
+    #[test]
+    fn oversized_responses_fall_back_to_tcp() {
+        let directory = Directory::new();
+        let origin = n("big.example");
+        // A TXT record far beyond 512 bytes of wire.
+        let zone = ZoneBuilder::new(origin.clone())
+            .txt(&origin, 300, &"x".repeat(900))
+            .build();
+        directory.register(Arc::new(StaticAuthority::new(zone)));
+        let clock = SimClock::new();
+        let metrics = Metrics::new();
+        let link = Link::new(
+            LatencyModel::ZERO,
+            FaultPlan::NONE,
+            clock,
+            metrics.clone(),
+        );
+        let mut r = Resolver::new(directory, link, "198.51.100.1".parse().unwrap());
+        let mut rng = SimRng::new(10);
+        let outcome = r.resolve(&mut rng, &origin, RecordType::TXT).unwrap();
+        assert_eq!(outcome.records().len(), 1);
+        assert_eq!(metrics.dns_truncated(), 1);
+        // Small answers never trip the fallback.
+        let outcome = r.resolve(&mut rng, &origin, RecordType::A);
+        assert!(outcome.is_ok());
+        assert_eq!(metrics.dns_truncated(), 1);
+    }
+
+    #[test]
+    fn deepest_origin_wins() {
+        let (dir, clock) = setup();
+        let subzone = ZoneBuilder::new(n("sub.example.com"))
+            .a(&n("sub.example.com"), 30, Ipv4Addr::new(192, 0, 2, 77))
+            .build();
+        dir.register(Arc::new(StaticAuthority::new(subzone)));
+        let mut r = resolver(&dir, &clock);
+        let mut rng = SimRng::new(9);
+        let outcome = r
+            .resolve(&mut rng, &n("sub.example.com"), RecordType::A)
+            .unwrap();
+        assert_eq!(
+            outcome.records()[0].rdata,
+            RData::A(Ipv4Addr::new(192, 0, 2, 77))
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Emulation of libSPF2's macro expansion, including the two
+//! vulnerabilities the paper discovered — CVE-2021-33912 and
+//! CVE-2021-33913 — reproduced mechanistically over a simulated heap.
+//!
+//! The original bugs (paper §4.1) live in `SPF_record_expand_data`:
+//!
+//! 1. **URL-encoding `sprintf` overflow (CVE-2021-33912).** The encoding
+//!    loop runs `sprintf(p_write, "%%%02x", *p_read)` on a `char*`. For
+//!    bytes `0x80..=0xFF` the signed char sign-extends to a 32-bit value,
+//!    so instead of the 4 bytes the author expected ("we know we're going
+//!    to get 4 characters anyway") `sprintf` emits 10 — e.g. `-2` becomes
+//!    `%fffffffe` — overflowing the allocation by 6 bytes per high byte.
+//!
+//! 2. **Buffer length reassignment (CVE-2021-33913).** When a macro
+//!    specifies label *reversal*, the variable tracking the intended buffer
+//!    length is overwritten with the (much smaller) length of the truncated
+//!    portion. A subsequent URL-encoding pass allocates from the bogus
+//!    length and then writes the full — and incorrectly *duplicated* —
+//!    reversed expansion into it, overflowing by up to ~100 bytes.
+//!
+//! The second bug has a benign, *protocol-visible* side effect that makes
+//! the paper's whole measurement possible: even without URL encoding the
+//! truncation logic mangles the expansion, so `%{d1r}` with sender domain
+//! `example.com` expands to `com.com.example` instead of `example`, and
+//! the probed server queries `com.com.example.foo.com` — a fingerprint no
+//! other implementation produces (§4.2).
+//!
+//! This crate models those code paths byte-for-byte over a [`MemSim`]
+//! heap, so the overflows are *observable events* rather than narration:
+//! an allocation has a size, every write is bounds-checked, and writes
+//! past the end are recorded (and optionally fault the expansion, the
+//! moral equivalent of a crash).
+//!
+//! [`variants`] additionally provides the merely *non-compliant* expander
+//! behaviours the measurement observed in the wild (paper §7.9, Table 7):
+//! implementations that skip reversal, skip truncation, skip expansion
+//! entirely, and so on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expand;
+pub mod memsim;
+pub mod variants;
+
+pub use expand::{LibSpf2Config, LibSpf2Expander, LibSpf2Version};
+pub use memsim::{AllocId, MemSim, OverflowEvent};
+pub use variants::{MacroBehavior, QuirkExpander};

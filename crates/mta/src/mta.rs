@@ -1,0 +1,537 @@
+//! The simulated MTA proper.
+
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+use spfail_dns::resolver::{LookupError, LookupOutcome};
+use spfail_dns::{Directory, Name, RecordType, Resolver};
+use spfail_netsim::{Link, SimClock, SimRng, SimTime};
+use spfail_smtp::address::EmailAddress;
+use spfail_smtp::reply::Reply;
+use spfail_smtp::session::{ServerPolicy, ServerSession};
+use spfail_spf::eval::{Evaluator, SpfDns};
+use spfail_spf::result::SpfResult;
+
+use crate::config::{ConnectPolicy, MtaConfig, SmtpQuirk, SpfStage};
+
+/// One SPF validation the MTA performed, for post-hoc inspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationRecord {
+    /// Which implementation ran (`"rfc7208"`, `"libspf2-1.2.10"`, …).
+    pub implementation: &'static str,
+    /// The verdict.
+    pub result: SpfResult,
+    /// When it ran.
+    pub at: SimTime,
+}
+
+/// Adapter giving the SPF evaluator access to the MTA's resolver.
+struct ResolverDns<'a> {
+    resolver: &'a mut Resolver,
+    rng: &'a mut SimRng,
+}
+
+impl SpfDns for ResolverDns<'_> {
+    fn lookup(&mut self, name: &Name, rtype: RecordType) -> Result<LookupOutcome, LookupError> {
+        self.resolver.resolve(self.rng, name, rtype)
+    }
+}
+
+/// A simulated mail transfer agent.
+pub struct Mta {
+    config: MtaConfig,
+    resolver: Resolver,
+    rng: SimRng,
+    clock: SimClock,
+    /// Sender domains already seen once (greylisting state).
+    greylist_seen: HashSet<String>,
+    /// Recipient local-parts this host rejects (first N of any ladder).
+    rcpt_reject_first_n: u8,
+    rejected_rcpts_this_envelope: u8,
+    probe_connections: u32,
+    peer: IpAddr,
+    pending_sender: Option<EmailAddress>,
+    validations: Vec<ValidationRecord>,
+}
+
+/// What `connect()` decided.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectDecision {
+    /// TCP refused; nothing more happens.
+    Refused,
+    /// TCP accepted but the service rejects with this banner and closes.
+    RejectedBanner(Reply),
+    /// Proceed to the SMTP session.
+    Proceed,
+}
+
+impl Mta {
+    /// Build an MTA at `ip` resolving through `directory`.
+    pub fn new(
+        config: MtaConfig,
+        ip: IpAddr,
+        directory: Directory,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Mta {
+        let link = Link::ideal(clock.clone());
+        Mta {
+            resolver: Resolver::new(directory, link, ip),
+            config,
+            rng,
+            clock,
+            greylist_seen: HashSet::new(),
+            rcpt_reject_first_n: 0,
+            rejected_rcpts_this_envelope: 0,
+            probe_connections: 0,
+            peer: ip,
+            pending_sender: None,
+            validations: Vec::new(),
+        }
+    }
+
+    /// The configuration (mutable, so campaigns can patch the host).
+    pub fn config_mut(&mut self) -> &mut MtaConfig {
+        &mut self.config
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MtaConfig {
+        &self.config
+    }
+
+    /// Reject the first `n` recipient usernames of every envelope, forcing
+    /// clients down their username ladder.
+    pub fn set_rcpt_reject_first_n(&mut self, n: u8) {
+        self.rcpt_reject_first_n = n;
+    }
+
+    /// Apply the libSPF2 patch to this host.
+    pub fn patch(&mut self) {
+        self.config.apply_patch();
+    }
+
+    /// All SPF validations performed so far.
+    pub fn validations(&self) -> &[ValidationRecord] {
+        &self.validations
+    }
+
+    /// Number of connections this host has seen.
+    pub fn connections_seen(&self) -> u32 {
+        self.probe_connections
+    }
+
+    /// Decide a new inbound connection from `peer`.
+    pub fn connect(&mut self, peer: IpAddr) -> ConnectDecision {
+        self.probe_connections += 1;
+        self.peer = peer;
+        self.pending_sender = None;
+        self.rejected_rcpts_this_envelope = 0;
+        if let Some(limit) = self.config.blacklist_after {
+            if self.probe_connections > limit {
+                // §7.6: blacklisting hosts answered TCP but aborted the
+                // SMTP conversation with a 5XX/421.
+                let reply = if self.rng.chance(0.5) {
+                    Reply::service_unavailable()
+                } else {
+                    Reply::new(554, "Transaction failed: sender blocked")
+                };
+                return ConnectDecision::RejectedBanner(reply);
+            }
+        }
+        match self.config.connect {
+            ConnectPolicy::Refuse => ConnectDecision::Refused,
+            ConnectPolicy::RejectBanner(code) => {
+                ConnectDecision::RejectedBanner(Reply::new(code, "Service rejecting connections"))
+            }
+            ConnectPolicy::Accept => ConnectDecision::Proceed,
+        }
+    }
+
+    /// Open the SMTP session after a `Proceed` decision.
+    pub fn open_session(&mut self) -> (ServerSession<&mut Mta>, Reply) {
+        let hostname = self.config.hostname.clone();
+        ServerSession::open(&hostname, self)
+    }
+
+    /// Run SPF validation for `sender` with every configured
+    /// implementation; returns the reply that should reject the mail, if
+    /// any.
+    fn run_spf(&mut self, sender: &EmailAddress) -> Option<Reply> {
+        let impls = self.config.spf_impls.clone();
+        let mut reject: Option<Reply> = None;
+        for behavior in impls {
+            let mut expander = behavior.expander();
+            let result = {
+                let mut dns = ResolverDns {
+                    resolver: &mut self.resolver,
+                    rng: &mut self.rng,
+                };
+                let mut eval = Evaluator::new(&mut dns, &mut expander);
+                eval.check_host(self.peer, sender.local(), sender.domain())
+            };
+            self.validations.push(ValidationRecord {
+                implementation: expander.describe(),
+                result,
+                at: self.clock.now(),
+            });
+            if reject.is_none() {
+                reject = match result {
+                    SpfResult::Fail if self.config.reject_on_spf_fail => {
+                        Some(Reply::spf_rejected(sender.domain()))
+                    }
+                    SpfResult::TempError => {
+                        Some(Reply::new(451, "Temporary SPF validation failure"))
+                    }
+                    _ => None,
+                };
+            }
+        }
+        reject
+    }
+}
+
+impl ServerPolicy for &mut Mta {
+    fn on_mail_from(&mut self, sender: Option<&EmailAddress>) -> Option<Reply> {
+        if let SmtpQuirk::RejectMailFrom(code) = self.config.quirk {
+            return Some(Reply::new(code, "Sender rejected by policy"));
+        }
+        self.pending_sender = sender.cloned();
+        self.rejected_rcpts_this_envelope = 0;
+        if self.config.spf_stage == SpfStage::OnMailFrom {
+            if let Some(sender) = sender.cloned() {
+                if let Some(reject) = self.run_spf(&sender) {
+                    return Some(reject);
+                }
+            }
+        }
+        None
+    }
+
+    fn on_rcpt_to(&mut self, recipient: &EmailAddress) -> Option<Reply> {
+        if let SmtpQuirk::RejectAllRcpt(code) = self.config.quirk {
+            return Some(Reply::new(code, "No such recipient"));
+        }
+        let is_postmaster = recipient.local().eq_ignore_ascii_case("postmaster");
+        // RFC 5321 §4.5.1 says postmaster MUST be accepted; compliant
+        // hosts do, and the unknown-user rejections only apply to
+        // ordinary mailboxes. Hosts configured to violate the MUST are
+        // the paper's main notification-bounce source.
+        if is_postmaster && self.config.reject_postmaster {
+            return Some(Reply::mailbox_unavailable());
+        }
+        if !is_postmaster && self.rejected_rcpts_this_envelope < self.rcpt_reject_first_n {
+            self.rejected_rcpts_this_envelope += 1;
+            return Some(Reply::mailbox_unavailable());
+        }
+        if self.config.greylist {
+            let key = self
+                .pending_sender
+                .as_ref()
+                .map(|s| format!("{}/{}", s.domain_lower(), recipient.local()))
+                .unwrap_or_else(|| format!("<>/{}", recipient.local()));
+            if self.greylist_seen.insert(key) {
+                return Some(Reply::greylisted());
+            }
+        }
+        None
+    }
+
+    fn on_data_begin(&mut self) -> Option<Reply> {
+        if let SmtpQuirk::RejectData(code) = self.config.quirk {
+            return Some(Reply::new(code, "DATA not accepted"));
+        }
+        None
+    }
+
+    fn on_message(&mut self, _body: &str) -> Option<Reply> {
+        if let SmtpQuirk::RejectMessage(code) = self.config.quirk {
+            return Some(Reply::new(code, "Message rejected by content policy"));
+        }
+        if self.config.spf_stage == SpfStage::OnData {
+            if let Some(sender) = self.pending_sender.clone() {
+                if let Some(reject) = self.run_spf(&sender) {
+                    return Some(reject);
+                }
+            }
+        }
+        // Blank probe messages are accepted here but would be discarded by
+        // the spam filter; the probe design counts on rejection *or*
+        // discard, either way no inbox delivery.
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfail_dns::{QueryLog, SpfTestAuthority};
+    use spfail_smtp::command::Command;
+    use std::sync::Arc;
+
+    fn setup() -> (Directory, QueryLog, SimClock) {
+        let directory = Directory::new();
+        let log = QueryLog::new();
+        directory.register(Arc::new(SpfTestAuthority::new(
+            SpfTestAuthority::default_origin(),
+            log.clone(),
+        )));
+        (directory, log, SimClock::new())
+    }
+
+    fn mta(config: MtaConfig) -> (Mta, QueryLog) {
+        let (directory, log, clock) = setup();
+        let m = Mta::new(
+            config,
+            "198.51.100.9".parse().unwrap(),
+            directory,
+            clock,
+            SimRng::new(7),
+        );
+        (m, log)
+    }
+
+    fn probe_addr() -> EmailAddress {
+        EmailAddress::parse("mmj7yzdm0tbk@k7q2.s01.spf-test.dns-lab.org").unwrap()
+    }
+
+    fn drive_through_mail_from(m: &mut Mta) -> Reply {
+        assert_eq!(m.connect("203.0.113.9".parse().unwrap()), ConnectDecision::Proceed);
+        let (mut session, banner) = m.open_session();
+        assert_eq!(banner.code, 220);
+        session.handle(&Command::Ehlo("probe.dns-lab.org".into()));
+        session.handle(&Command::MailFrom(probe_addr()))
+    }
+
+    #[test]
+    fn vulnerable_mta_emits_the_fingerprint_query() {
+        let (mut m, log) = mta(MtaConfig::vulnerable("mx.victim.test"));
+        let reply = drive_through_mail_from(&mut m);
+        // The probe record always ends in -all, so validation fails and
+        // the mail is rejected — by design (§6.2).
+        assert_eq!(reply.code, 550);
+        let queried: Vec<String> = log.snapshot().iter().map(|e| e.qname.to_ascii()).collect();
+        assert!(
+            queried.contains(
+                &"org.org.dns-lab.spf-test.s01.k7q2.k7q2.s01.spf-test.dns-lab.org".to_string()
+            ),
+            "vulnerable duplication fingerprint, got {queried:?}"
+        );
+        assert_eq!(m.validations().len(), 1);
+        assert_eq!(m.validations()[0].implementation, "libspf2-1.2.10");
+        assert_eq!(m.validations()[0].result, SpfResult::Fail);
+    }
+
+    #[test]
+    fn compliant_mta_emits_the_rfc_query() {
+        let (mut m, log) = mta(MtaConfig::compliant("mx.good.test"));
+        drive_through_mail_from(&mut m);
+        let queried: Vec<String> = log.snapshot().iter().map(|e| e.qname.to_ascii()).collect();
+        assert!(
+            queried.contains(&"k7q2.k7q2.s01.spf-test.dns-lab.org".to_string()),
+            "compliant %{{d1r}} expansion, got {queried:?}"
+        );
+    }
+
+    #[test]
+    fn patching_switches_the_fingerprint() {
+        let (mut m, log) = mta(MtaConfig::vulnerable("mx.victim.test"));
+        drive_through_mail_from(&mut m);
+        assert!(log
+            .snapshot()
+            .iter()
+            .any(|e| e.qname.first_label() == Some("org")));
+        log.clear();
+        m.patch();
+        assert!(!m.config().is_vulnerable());
+        drive_through_mail_from(&mut m);
+        assert!(
+            !log.snapshot()
+                .iter()
+                .any(|e| e.qname.first_label() == Some("org")),
+            "after the patch the duplicated expansion must be gone"
+        );
+    }
+
+    #[test]
+    fn ondata_stage_validates_only_at_message() {
+        let mut config = MtaConfig::vulnerable("mx.late.test");
+        config.spf_stage = SpfStage::OnData;
+        let (mut m, log) = mta(config);
+        let reply = drive_through_mail_from(&mut m);
+        assert!(reply.is_positive());
+        assert!(log.is_empty(), "NoMsg-style probes see nothing from OnData hosts");
+
+        // Run a full BlankMsg-style transaction.
+        m.connect("203.0.113.9".parse().unwrap());
+        let (mut session, _) = m.open_session();
+        session.handle(&Command::Ehlo("probe.dns-lab.org".into()));
+        session.handle(&Command::MailFrom(probe_addr()));
+        session.handle(&Command::RcptTo(
+            EmailAddress::parse("postmaster@mx.late.test").unwrap(),
+        ));
+        session.handle(&Command::Data);
+        let final_reply = session.handle_message("");
+        assert_eq!(final_reply.code, 550, "SPF fail at end-of-data");
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn never_stage_never_queries() {
+        let mut config = MtaConfig::compliant("mx.nospf.test");
+        config.spf_stage = SpfStage::Never;
+        let (mut m, log) = mta(config);
+        m.connect("203.0.113.9".parse().unwrap());
+        let (mut session, _) = m.open_session();
+        session.handle(&Command::Ehlo("probe.dns-lab.org".into()));
+        session.handle(&Command::MailFrom(probe_addr()));
+        session.handle(&Command::RcptTo(
+            EmailAddress::parse("postmaster@mx.nospf.test").unwrap(),
+        ));
+        session.handle(&Command::Data);
+        session.handle_message("");
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn multiple_impls_emit_multiple_patterns() {
+        let mut config = MtaConfig::vulnerable("mx.multi.test");
+        config.spf_impls = vec![
+            spfail_libspf2::MacroBehavior::VulnerableLibSpf2,
+            spfail_libspf2::MacroBehavior::Compliant,
+        ];
+        config.reject_on_spf_fail = false;
+        let (mut m, log) = mta(config);
+        drive_through_mail_from(&mut m);
+        let first_labels: Vec<Option<&str>> = log
+            .snapshot()
+            .iter()
+            .filter(|e| e.qtype == RecordType::A)
+            .map(|e| e.qname.first_label().map(|s| s.to_string()))
+            .collect::<Vec<_>>()
+            .iter()
+            .map(|o| o.as_deref().map(|s| if s == "org" { "org" } else { "other" }))
+            .collect();
+        assert!(first_labels.contains(&Some("org")), "vulnerable pattern present");
+        assert!(first_labels.contains(&Some("other")), "compliant pattern present");
+        assert_eq!(m.validations().len(), 2);
+    }
+
+    #[test]
+    fn greylisting_rejects_first_attempt_only() {
+        let mut config = MtaConfig::compliant("mx.grey.test");
+        config.greylist = true;
+        config.spf_stage = SpfStage::Never;
+        let (mut m, _log) = mta(config);
+        let rcpt = EmailAddress::parse("postmaster@mx.grey.test").unwrap();
+
+        m.connect("203.0.113.9".parse().unwrap());
+        let (mut session, _) = m.open_session();
+        session.handle(&Command::Ehlo("probe.dns-lab.org".into()));
+        session.handle(&Command::MailFrom(probe_addr()));
+        assert_eq!(session.handle(&Command::RcptTo(rcpt.clone())).code, 450);
+
+        m.connect("203.0.113.9".parse().unwrap());
+        let (mut session, _) = m.open_session();
+        session.handle(&Command::Ehlo("probe.dns-lab.org".into()));
+        session.handle(&Command::MailFrom(probe_addr()));
+        assert!(session.handle(&Command::RcptTo(rcpt)).is_positive());
+    }
+
+    #[test]
+    fn blacklisting_kicks_in_after_threshold() {
+        let mut config = MtaConfig::vulnerable("mx.bl.test");
+        config.blacklist_after = Some(2);
+        let (mut m, _log) = mta(config);
+        let peer: IpAddr = "203.0.113.9".parse().unwrap();
+        assert_eq!(m.connect(peer), ConnectDecision::Proceed);
+        assert_eq!(m.connect(peer), ConnectDecision::Proceed);
+        match m.connect(peer) {
+            ConnectDecision::RejectedBanner(reply) => {
+                assert!(reply.code == 421 || reply.code == 554);
+            }
+            other => panic!("expected blacklist banner, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn connect_policies() {
+        let mut config = MtaConfig::compliant("mx.refuse.test");
+        config.connect = ConnectPolicy::Refuse;
+        let (mut m, _) = mta(config);
+        assert_eq!(
+            m.connect("203.0.113.9".parse().unwrap()),
+            ConnectDecision::Refused
+        );
+
+        let mut config = MtaConfig::compliant("mx.banner.test");
+        config.connect = ConnectPolicy::RejectBanner(554);
+        let (mut m, _) = mta(config);
+        match m.connect("203.0.113.9".parse().unwrap()) {
+            ConnectDecision::RejectedBanner(reply) => assert_eq!(reply.code, 554),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rcpt_ladder_rejection() {
+        let mut config = MtaConfig::compliant("mx.ladder.test");
+        config.spf_stage = SpfStage::Never;
+        let (mut m, _) = mta(config);
+        m.set_rcpt_reject_first_n(2);
+        m.connect("203.0.113.9".parse().unwrap());
+        let (mut session, _) = m.open_session();
+        session.handle(&Command::Ehlo("p.test".into()));
+        session.handle(&Command::MailFrom(probe_addr()));
+        let r1 = session.handle(&Command::RcptTo(
+            EmailAddress::parse("mmj7yzdm0tbk@mx.ladder.test").unwrap(),
+        ));
+        assert_eq!(r1.code, 550);
+        let r2 = session.handle(&Command::RcptTo(
+            EmailAddress::parse("noreply@mx.ladder.test").unwrap(),
+        ));
+        assert_eq!(r2.code, 550);
+        let r3 = session.handle(&Command::RcptTo(
+            EmailAddress::parse("donotreply@mx.ladder.test").unwrap(),
+        ));
+        assert!(r3.is_positive());
+    }
+
+    #[test]
+    fn quirks_fire_at_their_stage() {
+        type QuirkCheck = fn(&mut Mta) -> u16;
+        let cases: [(SmtpQuirk, QuirkCheck); 3] = [
+            (SmtpQuirk::RejectMailFrom(553), |m: &mut Mta| {
+                drive_through_mail_from(m).code
+            }),
+            (SmtpQuirk::RejectAllRcpt(550), |m: &mut Mta| {
+                m.connect("203.0.113.9".parse().unwrap());
+                let (mut s, _) = m.open_session();
+                s.handle(&Command::Ehlo("p.test".into()));
+                s.handle(&Command::MailFrom(probe_addr()));
+                s.handle(&Command::RcptTo(
+                    EmailAddress::parse("postmaster@x.test").unwrap(),
+                ))
+                .code
+            }),
+            (SmtpQuirk::RejectData(554), |m: &mut Mta| {
+                m.connect("203.0.113.9".parse().unwrap());
+                let (mut s, _) = m.open_session();
+                s.handle(&Command::Ehlo("p.test".into()));
+                s.handle(&Command::MailFrom(probe_addr()));
+                s.handle(&Command::RcptTo(
+                    EmailAddress::parse("postmaster@x.test").unwrap(),
+                ));
+                s.handle(&Command::Data).code
+            }),
+        ];
+        for (quirk, check) in cases {
+            let mut config = MtaConfig::compliant("mx.quirk.test");
+            config.spf_stage = SpfStage::Never;
+            config.quirk = quirk;
+            let (mut m, _) = mta(config);
+            let code = check(&mut m);
+            assert!((400..600).contains(&code), "{quirk:?} gave {code}");
+        }
+    }
+}

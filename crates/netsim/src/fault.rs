@@ -1,0 +1,128 @@
+//! Fault injection for simulated network paths.
+//!
+//! Following the fault-injection style of event-driven stacks such as
+//! smoltcp, every link carries a [`FaultPlan`] that can drop packets or
+//! refuse/abort connections with configured probabilities. The prober's
+//! "SMTP Failure" and "Connection Refused" rows in Table 3 are produced by
+//! these faults plus per-MTA policy.
+
+use crate::rng::SimRng;
+
+/// Probabilities of the various failure modes on a path or endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Probability that a connection attempt is refused outright
+    /// (TCP RST / no listener).
+    pub refuse_chance: f64,
+    /// Probability that an established exchange is aborted mid-way
+    /// (peer closes, network partition).
+    pub abort_chance: f64,
+    /// Probability that a single datagram (e.g. a DNS query) is lost.
+    pub drop_chance: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never faults.
+    pub const NONE: FaultPlan = FaultPlan {
+        refuse_chance: 0.0,
+        abort_chance: 0.0,
+        drop_chance: 0.0,
+    };
+
+    /// A plan that always refuses connections.
+    pub const REFUSE_ALL: FaultPlan = FaultPlan {
+        refuse_chance: 1.0,
+        abort_chance: 0.0,
+        drop_chance: 0.0,
+    };
+
+    /// Decide the fate of a connection attempt.
+    pub fn connection_outcome(&self, rng: &mut SimRng) -> FaultOutcome {
+        if rng.chance(self.refuse_chance) {
+            FaultOutcome::Refused
+        } else if rng.chance(self.abort_chance) {
+            FaultOutcome::Aborted
+        } else {
+            FaultOutcome::Delivered
+        }
+    }
+
+    /// Decide the fate of a single datagram.
+    pub fn datagram_outcome(&self, rng: &mut SimRng) -> FaultOutcome {
+        if rng.chance(self.drop_chance) {
+            FaultOutcome::Dropped
+        } else {
+            FaultOutcome::Delivered
+        }
+    }
+}
+
+/// The decided fate of a connection or datagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// The exchange proceeds normally.
+    Delivered,
+    /// The connection attempt was refused before any application bytes.
+    Refused,
+    /// The exchange started but was cut off part-way through.
+    Aborted,
+    /// The datagram was silently lost.
+    Dropped,
+}
+
+impl FaultOutcome {
+    /// Whether the exchange completed.
+    pub fn is_delivered(self) -> bool {
+        matches!(self, FaultOutcome::Delivered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_always_delivers() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert!(FaultPlan::NONE.connection_outcome(&mut rng).is_delivered());
+            assert!(FaultPlan::NONE.datagram_outcome(&mut rng).is_delivered());
+        }
+    }
+
+    #[test]
+    fn refuse_all_always_refuses() {
+        let mut rng = SimRng::new(2);
+        for _ in 0..100 {
+            assert_eq!(
+                FaultPlan::REFUSE_ALL.connection_outcome(&mut rng),
+                FaultOutcome::Refused
+            );
+        }
+    }
+
+    #[test]
+    fn abort_rate_is_roughly_calibrated() {
+        let plan = FaultPlan {
+            refuse_chance: 0.0,
+            abort_chance: 0.2,
+            drop_chance: 0.0,
+        };
+        let mut rng = SimRng::new(3);
+        let aborted = (0..10_000)
+            .filter(|_| plan.connection_outcome(&mut rng) == FaultOutcome::Aborted)
+            .count();
+        assert!((1_700..2_300).contains(&aborted), "aborted={aborted}");
+    }
+
+    #[test]
+    fn refusal_takes_precedence_over_abort() {
+        let plan = FaultPlan {
+            refuse_chance: 1.0,
+            abort_chance: 1.0,
+            drop_chance: 0.0,
+        };
+        let mut rng = SimRng::new(4);
+        assert_eq!(plan.connection_outcome(&mut rng), FaultOutcome::Refused);
+    }
+}

@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation substrate for the SPFail reproduction.
+//!
+//! The paper's measurement ran against the live Internet over roughly four
+//! months. Reproducing it requires a clock that can be advanced by months in
+//! microseconds, a network whose latency and failures are repeatable, and a
+//! random source that can be forked per simulated entity so that adding or
+//! removing one host never perturbs the behaviour of another.
+//!
+//! This crate provides those pieces and nothing else:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution simulated time.
+//! * [`SimClock`] — a cheaply clonable shared clock.
+//! * [`SimRng`] — a seeded, forkable deterministic random source.
+//! * [`EventQueue`] — a stable-ordered future-event list.
+//! * [`LatencyModel`], [`FaultPlan`], [`Link`] — network path behaviour.
+//! * [`Metrics`] — cheap counters for ablation benchmarks.
+//!
+//! Higher layers (DNS, SMTP, the prober) are written sans-IO against these
+//! types; no real sockets are ever opened.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod fault;
+pub mod latency;
+pub mod metrics;
+pub mod net;
+pub mod rng;
+pub mod time;
+
+pub use event::EventQueue;
+pub use fault::{FaultOutcome, FaultPlan};
+pub use latency::LatencyModel;
+pub use metrics::Metrics;
+pub use net::{Link, LinkObservation};
+pub use rng::SimRng;
+pub use time::{SimClock, SimDuration, SimTime};

@@ -1,0 +1,119 @@
+//! Cheap shared counters for instrumentation and ablation benchmarks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters shared across the simulation.
+///
+/// A `Metrics` handle is cheap to clone; all clones observe the same
+/// counters. The ablation benchmarks use these to compare, e.g., DNS query
+/// volume with and without resolver caching.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Arc<MetricsInner>,
+}
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    connections_attempted: AtomicU64,
+    connections_refused: AtomicU64,
+    connections_aborted: AtomicU64,
+    datagrams_sent: AtomicU64,
+    datagrams_dropped: AtomicU64,
+    bytes_sent: AtomicU64,
+    dns_queries: AtomicU64,
+    dns_cache_hits: AtomicU64,
+    dns_truncated: AtomicU64,
+}
+
+macro_rules! counter {
+    ($inc:ident, $get:ident, $field:ident, $doc:literal) => {
+        #[doc = concat!("Increment the number of ", $doc, ".")]
+        pub fn $inc(&self) {
+            self.inner.$field.fetch_add(1, Ordering::Relaxed);
+        }
+
+        #[doc = concat!("The number of ", $doc, " so far.")]
+        pub fn $get(&self) -> u64 {
+            self.inner.$field.load(Ordering::Relaxed)
+        }
+    };
+}
+
+impl Metrics {
+    /// Fresh counters, all zero.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    counter!(
+        inc_connections_attempted,
+        connections_attempted,
+        connections_attempted,
+        "connection attempts"
+    );
+    counter!(
+        inc_connections_refused,
+        connections_refused,
+        connections_refused,
+        "refused connections"
+    );
+    counter!(
+        inc_connections_aborted,
+        connections_aborted,
+        connections_aborted,
+        "aborted connections"
+    );
+    counter!(inc_datagrams_sent, datagrams_sent, datagrams_sent, "datagrams sent");
+    counter!(
+        inc_datagrams_dropped,
+        datagrams_dropped,
+        datagrams_dropped,
+        "datagrams dropped"
+    );
+    counter!(inc_dns_queries, dns_queries, dns_queries, "DNS queries issued");
+    counter!(inc_dns_cache_hits, dns_cache_hits, dns_cache_hits, "DNS cache hits");
+    counter!(
+        inc_dns_truncated,
+        dns_truncated,
+        dns_truncated,
+        "truncated DNS responses retried over TCP"
+    );
+
+    /// Add `n` bytes to the sent-bytes counter.
+    pub fn add_bytes_sent(&self, n: u64) {
+        self.inner.bytes_sent.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total bytes sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_counters() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m.inc_dns_queries();
+        m2.inc_dns_queries();
+        assert_eq!(m.dns_queries(), 2);
+        m.add_bytes_sent(100);
+        assert_eq!(m2.bytes_sent(), 100);
+    }
+
+    #[test]
+    fn counters_start_at_zero() {
+        let m = Metrics::new();
+        assert_eq!(m.connections_attempted(), 0);
+        assert_eq!(m.connections_refused(), 0);
+        assert_eq!(m.connections_aborted(), 0);
+        assert_eq!(m.datagrams_sent(), 0);
+        assert_eq!(m.datagrams_dropped(), 0);
+        assert_eq!(m.dns_cache_hits(), 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! The tracking-image log.
+//!
+//! Each notification email embeds an image URL carrying a unique token;
+//! the web server logs a [`PixelHit`] whenever a recipient's mail client
+//! loads it. This is the §7.7 open-rate instrument (a lower bound, since
+//! clients that do not load images are invisible).
+
+use std::collections::HashMap;
+
+/// One recorded image fetch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PixelHit {
+    /// The unique token from the image URL.
+    pub token: String,
+    /// Measurement day of the fetch.
+    pub day: u16,
+}
+
+/// The web server's image-fetch log.
+#[derive(Debug, Default, Clone)]
+pub struct PixelLog {
+    hits: Vec<PixelHit>,
+    by_token: HashMap<String, u16>,
+}
+
+impl PixelLog {
+    /// An empty log.
+    pub fn new() -> PixelLog {
+        PixelLog::default()
+    }
+
+    /// Record a fetch of `token` on `day`.
+    pub fn record(&mut self, token: &str, day: u16) {
+        self.hits.push(PixelHit {
+            token: token.to_string(),
+            day,
+        });
+        self.by_token
+            .entry(token.to_string())
+            .and_modify(|d| *d = (*d).min(day))
+            .or_insert(day);
+    }
+
+    /// The first day `token` was fetched, if ever.
+    pub fn first_open(&self, token: &str) -> Option<u16> {
+        self.by_token.get(token).copied()
+    }
+
+    /// Number of distinct tokens fetched.
+    pub fn distinct_opens(&self) -> usize {
+        self.by_token.len()
+    }
+
+    /// All hits.
+    pub fn hits(&self) -> &[PixelHit] {
+        &self.hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_first_open_per_token() {
+        let mut log = PixelLog::new();
+        log.record("abc", 40);
+        log.record("abc", 50);
+        log.record("def", 45);
+        assert_eq!(log.first_open("abc"), Some(40));
+        assert_eq!(log.first_open("def"), Some(45));
+        assert_eq!(log.first_open("zzz"), None);
+        assert_eq!(log.distinct_opens(), 2);
+        assert_eq!(log.hits().len(), 3);
+    }
+
+    #[test]
+    fn earlier_hit_wins_even_out_of_order() {
+        let mut log = PixelLog::new();
+        log.record("t", 80);
+        log.record("t", 36);
+        assert_eq!(log.first_open("t"), Some(36));
+    }
+}

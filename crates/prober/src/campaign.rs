@@ -1,0 +1,553 @@
+//! The full measurement programme (paper §5.3):
+//!
+//! * **Initial sweep** (day 0, 2021-10-11): every unique server address of
+//!   both domain sets, NoMsg first, BlankMsg where NoMsg elicited no SPF.
+//! * **Longitudinal rounds** every 2 days across two windows
+//!   (Oct 26 – Nov 30 and Jan 15 – Feb 14), restricted to the initially
+//!   vulnerable and the inconclusive-but-remeasurable addresses.
+//! * **Final snapshot** (February 2022) with freshly resolved MX records.
+//! * The §7.6 **inference rules**: a host measured vulnerable at time *t*
+//!   was vulnerable at all *t' ≤ t*; one measured patched at *t* stays
+//!   patched for all *t' ≥ t*.
+
+use std::collections::HashMap;
+
+use spfail_world::{DomainId, HostId, Timeline, World};
+
+use crate::classify::Classification;
+use crate::ethics::EthicsAudit;
+use crate::probe::{ProbeOutcome, ProbeTest, Prober};
+
+/// Table 3's per-address outcome ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostClass {
+    /// TCP refused.
+    Refused,
+    /// SMTP failed before the probe ran its course, in every test tried.
+    SmtpFailure,
+    /// SPF behaviour conclusively measured.
+    SpfMeasured,
+    /// Transactions completed but no SPF activity was observed.
+    SpfNotMeasured,
+}
+
+/// Both initial probes of one host.
+#[derive(Debug, Clone)]
+pub struct HostInitialResult {
+    /// The NoMsg probe (always attempted).
+    pub nomsg: ProbeOutcome,
+    /// The BlankMsg probe, when the NoMsg result warranted one.
+    pub blankmsg: Option<ProbeOutcome>,
+}
+
+impl HostInitialResult {
+    /// The conclusive classification, from whichever test produced one.
+    pub fn classification(&self) -> Option<&Classification> {
+        if self.nomsg.spf_measured() {
+            return Some(&self.nomsg.classification);
+        }
+        self.blankmsg
+            .as_ref()
+            .filter(|b| b.spf_measured())
+            .map(|b| &b.classification)
+    }
+
+    /// The probe variant that produced the conclusive measurement.
+    pub fn measured_by(&self) -> Option<ProbeTest> {
+        if self.nomsg.spf_measured() {
+            Some(ProbeTest::NoMsg)
+        } else if self.blankmsg.as_ref().is_some_and(|b| b.spf_measured()) {
+            Some(ProbeTest::BlankMsg)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the vulnerable fingerprint was observed in either test.
+    pub fn vulnerable(&self) -> bool {
+        self.classification().is_some_and(Classification::vulnerable)
+    }
+
+    /// Whether any probe ended in a transient failure (re-measurable).
+    pub fn transient(&self) -> bool {
+        let t = |p: &ProbeOutcome| {
+            p.transaction
+                .as_ref()
+                .is_some_and(|o| o.is_transient())
+        };
+        t(&self.nomsg) || self.blankmsg.as_ref().is_some_and(t)
+    }
+
+    /// The Table 3 outcome class.
+    pub fn class(&self) -> HostClass {
+        if self.classification().is_some() {
+            return HostClass::SpfMeasured;
+        }
+        if self.nomsg.refused() {
+            return HostClass::Refused;
+        }
+        let failed = |p: &ProbeOutcome| p.smtp_failure();
+        match &self.blankmsg {
+            Some(blank) => {
+                if failed(&self.nomsg) || failed(blank) {
+                    HostClass::SmtpFailure
+                } else {
+                    HostClass::SpfNotMeasured
+                }
+            }
+            None => {
+                if failed(&self.nomsg) {
+                    HostClass::SmtpFailure
+                } else {
+                    HostClass::SpfNotMeasured
+                }
+            }
+        }
+    }
+}
+
+/// The initial sweep's results.
+#[derive(Debug, Clone, Default)]
+pub struct InitialMeasurement {
+    /// Per-host results (every unique address probed once).
+    pub results: HashMap<HostId, HostInitialResult>,
+}
+
+impl InitialMeasurement {
+    /// Hosts whose initial measurement showed the vulnerable fingerprint.
+    pub fn vulnerable_hosts(&self) -> Vec<HostId> {
+        let mut hosts: Vec<HostId> = self
+            .results
+            .iter()
+            .filter(|(_, r)| r.vulnerable())
+            .map(|(&h, _)| h)
+            .collect();
+        hosts.sort();
+        hosts
+    }
+}
+
+/// A host's status in one longitudinal round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoundStatus {
+    /// Measured with the vulnerable fingerprint.
+    Vulnerable,
+    /// Measured with a non-vulnerable (typically compliant) fingerprint.
+    Patched,
+    /// No conclusive measurement this round.
+    Inconclusive,
+}
+
+/// A domain's status in the final snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnapshotStatus {
+    /// All of the domain's initially vulnerable hosts measured patched.
+    Patched,
+    /// At least one still measured vulnerable.
+    Vulnerable,
+    /// Never conclusively measured in February.
+    Unknown,
+}
+
+/// Everything the campaign measured.
+pub struct CampaignData {
+    /// The initial sweep.
+    pub initial: InitialMeasurement,
+    /// Hosts tracked longitudinally (initially vulnerable + transient).
+    pub tracked: Vec<HostId>,
+    /// Per-round measurements: `(day, host -> status)`.
+    pub rounds: Vec<(u16, HashMap<HostId, RoundStatus>)>,
+    /// The final snapshot, per initially-vulnerable domain.
+    pub snapshot: HashMap<DomainId, SnapshotStatus>,
+    /// Initially vulnerable domains (any vulnerable host).
+    pub vulnerable_domains: Vec<DomainId>,
+    /// The §6.1 self-restraint audit for the whole campaign.
+    pub ethics: EthicsAudit,
+}
+
+impl CampaignData {
+    /// First round day a host was measured `Patched`, if ever.
+    pub fn first_patched_day(&self, host: HostId) -> Option<u16> {
+        self.rounds
+            .iter()
+            .find(|(_, statuses)| statuses.get(&host) == Some(&RoundStatus::Patched))
+            .map(|(day, _)| *day)
+    }
+
+    /// Last round day a host was measured `Vulnerable`, if ever.
+    pub fn last_vulnerable_day(&self, host: HostId) -> Option<u16> {
+        self.rounds
+            .iter()
+            .rev()
+            .find(|(_, statuses)| statuses.get(&host) == Some(&RoundStatus::Vulnerable))
+            .map(|(day, _)| *day)
+    }
+
+    /// A host's status on `day` after applying the inference rules.
+    pub fn inferred_status(&self, host: HostId, day: u16) -> RoundStatus {
+        // Direct measurement wins.
+        if let Some((_, statuses)) = self.rounds.iter().find(|(d, _)| *d == day) {
+            match statuses.get(&host) {
+                Some(&RoundStatus::Vulnerable) => return RoundStatus::Vulnerable,
+                Some(&RoundStatus::Patched) => return RoundStatus::Patched,
+                _ => {}
+            }
+        }
+        // Rule 1: vulnerable later => vulnerable now (no regressions).
+        if self.last_vulnerable_day(host).is_some_and(|d| d >= day) {
+            return RoundStatus::Vulnerable;
+        }
+        // Rule 2: patched earlier => patched now.
+        if self.first_patched_day(host).is_some_and(|d| d <= day) {
+            return RoundStatus::Patched;
+        }
+        RoundStatus::Inconclusive
+    }
+
+    /// A domain's status on `day` (with inference): vulnerable while any
+    /// initially-vulnerable host remains vulnerable; patched once all are.
+    pub fn domain_status(&self, world: &World, domain: DomainId, day: u16) -> RoundStatus {
+        let vulnerable_hosts: Vec<HostId> = world
+            .domain(domain)
+            .hosts
+            .iter()
+            .copied()
+            .filter(|h| self.tracked.contains(h))
+            .collect();
+        if vulnerable_hosts.is_empty() {
+            return RoundStatus::Inconclusive;
+        }
+        let mut all_patched = true;
+        for host in vulnerable_hosts {
+            match self.inferred_status(host, day) {
+                RoundStatus::Vulnerable => return RoundStatus::Vulnerable,
+                RoundStatus::Patched => {}
+                RoundStatus::Inconclusive => all_patched = false,
+            }
+        }
+        if all_patched {
+            RoundStatus::Patched
+        } else {
+            RoundStatus::Inconclusive
+        }
+    }
+}
+
+/// The campaign driver.
+pub struct Campaign;
+
+impl Campaign {
+    /// Run the complete measurement programme against `world`.
+    pub fn run(world: &World) -> CampaignData {
+        let mut prober = Prober::new(world, "s1");
+        let mut counts: HashMap<HostId, u32> = HashMap::new();
+
+        let initial = Self::initial_sweep(world, &mut prober, &mut counts);
+
+        // Track the vulnerable plus the transient-but-remeasurable.
+        let mut tracked = initial.vulnerable_hosts();
+        for (&host, result) in &initial.results {
+            if result.transient() && !tracked.contains(&host) && result.vulnerable() {
+                tracked.push(host);
+            }
+        }
+        tracked.sort();
+
+        let vulnerable_domains: Vec<DomainId> = {
+            let mut v: Vec<DomainId> = (0..world.domains.len() as u32)
+                .map(DomainId)
+                .filter(|&d| {
+                    world
+                        .domain(d)
+                        .hosts
+                        .iter()
+                        .any(|h| tracked.binary_search(h).is_ok())
+                })
+                .collect();
+            v.sort();
+            v
+        };
+
+        // Preferred test per tracked host.
+        let preferred: HashMap<HostId, ProbeTest> = tracked
+            .iter()
+            .map(|&h| {
+                let test = initial
+                    .results
+                    .get(&h)
+                    .and_then(HostInitialResult::measured_by)
+                    .unwrap_or(ProbeTest::BlankMsg);
+                (h, test)
+            })
+            .collect();
+
+        // Longitudinal rounds.
+        let mut rounds = Vec::new();
+        for day in Timeline::all_round_days() {
+            world.clock.advance_to(Timeline::day_to_time(day));
+            world.query_log.clear();
+            prober.ethics_mut().begin_sweep();
+            let mut statuses = HashMap::new();
+            for &host in &tracked {
+                let seen = counts.entry(host).or_insert(0);
+                let test = preferred[&host];
+                let outcome = prober.probe(host, day, test, *seen);
+                *seen += 1;
+                let status = Self::round_status(&outcome);
+                statuses.insert(host, status);
+            }
+            rounds.push((day, statuses));
+        }
+
+        // Final snapshot with re-resolved addresses (§5.1, §7.2): fresh
+        // resolution reaches the provider's current servers, so the
+        // campaign's accumulated blacklisting does not apply.
+        world.clock.advance_to(Timeline::day_to_time(Timeline::END));
+        world.query_log.clear();
+        prober.ethics_mut().begin_sweep();
+        let mut snapshot = HashMap::new();
+        for &domain in &vulnerable_domains {
+            let hosts = world.resolve_mail_hosts(domain, Timeline::END);
+            let vulnerable_hosts: Vec<HostId> = hosts
+                .into_iter()
+                .filter(|h| tracked.binary_search(h).is_ok())
+                .collect();
+            if vulnerable_hosts.is_empty() {
+                snapshot.insert(domain, SnapshotStatus::Unknown);
+                continue;
+            }
+            let mut status = SnapshotStatus::Patched;
+            for host in vulnerable_hosts {
+                let test = preferred.get(&host).copied().unwrap_or(ProbeTest::BlankMsg);
+                let mut outcome = prober.probe(host, Timeline::END, test, 0);
+                if !outcome.spf_measured() {
+                    outcome = prober.probe(host, Timeline::END, test, 0);
+                }
+                match Self::round_status(&outcome) {
+                    RoundStatus::Vulnerable => {
+                        status = SnapshotStatus::Vulnerable;
+                        break;
+                    }
+                    RoundStatus::Patched => {}
+                    RoundStatus::Inconclusive => {
+                        if status == SnapshotStatus::Patched {
+                            status = SnapshotStatus::Unknown;
+                        }
+                    }
+                }
+            }
+            snapshot.insert(domain, status);
+        }
+
+        CampaignData {
+            initial,
+            tracked,
+            rounds,
+            snapshot,
+            vulnerable_domains,
+            ethics: prober.ethics().audit().clone(),
+        }
+    }
+
+    /// The initial sweep over every unique address.
+    fn initial_sweep(
+        world: &World,
+        prober: &mut Prober<'_>,
+        counts: &mut HashMap<HostId, u32>,
+    ) -> InitialMeasurement {
+        world.clock.advance_to(Timeline::day_to_time(Timeline::INITIAL));
+        prober.ethics_mut().begin_sweep();
+        let mut results = HashMap::with_capacity(world.hosts.len());
+        for raw in 0..world.hosts.len() as u32 {
+            let host = HostId(raw);
+            let nomsg = prober.probe(host, Timeline::INITIAL, ProbeTest::NoMsg, 0);
+            let mut seen = 1;
+            // BlankMsg only when NoMsg ran but elicited no SPF (§5.1).
+            let blankmsg = if !nomsg.refused() && !nomsg.smtp_failure() && !nomsg.spf_measured()
+            {
+                let outcome = prober.probe(host, Timeline::INITIAL, ProbeTest::BlankMsg, seen);
+                seen += 1;
+                Some(outcome)
+            } else {
+                None
+            };
+            counts.insert(host, seen);
+            results.insert(host, HostInitialResult { nomsg, blankmsg });
+            // Keep the shared query log bounded: each probe reads only its
+            // own window, so anything older is dead weight.
+            if world.query_log.len() > 50_000 {
+                world.query_log.clear();
+            }
+        }
+        InitialMeasurement { results }
+    }
+
+    fn round_status(outcome: &ProbeOutcome) -> RoundStatus {
+        if !outcome.spf_measured() {
+            return RoundStatus::Inconclusive;
+        }
+        if outcome.classification.vulnerable() {
+            RoundStatus::Vulnerable
+        } else {
+            RoundStatus::Patched
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfail_world::WorldConfig;
+
+    fn campaign() -> (World, CampaignData) {
+        let world = World::generate(WorldConfig {
+            scale: 0.004,
+            ..WorldConfig::small(2024)
+        });
+        let data = Campaign::run(&world);
+        (world, data)
+    }
+
+    #[test]
+    fn initial_sweep_covers_every_host() {
+        let (world, data) = campaign();
+        assert_eq!(data.initial.results.len(), world.hosts.len());
+    }
+
+    #[test]
+    fn detected_vulnerable_hosts_really_are_vulnerable() {
+        let (world, data) = campaign();
+        let detected = data.initial.vulnerable_hosts();
+        assert!(!detected.is_empty(), "world must contain vulnerable hosts");
+        for host in &detected {
+            assert!(
+                world.host(*host).profile.initially_vulnerable(),
+                "no false positives: the fingerprint is unique to libSPF2"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_recall_is_high() {
+        let (world, data) = campaign();
+        // Ground truth: vulnerable AND reachable AND actually validating.
+        let measurable: Vec<HostId> = world
+            .initially_vulnerable_hosts()
+            .into_iter()
+            .filter(|&h| {
+                let p = &world.host(h).profile;
+                p.connect == spfail_mta::ConnectPolicy::Accept
+                    && matches!(
+                        p.quirk,
+                        spfail_mta::SmtpQuirk::None | spfail_mta::SmtpQuirk::RejectMessage(_)
+                    )
+            })
+            .collect();
+        let detected = data.initial.vulnerable_hosts();
+        let found = measurable
+            .iter()
+            .filter(|h| detected.contains(h))
+            .count();
+        let recall = found as f64 / measurable.len().max(1) as f64;
+        assert!(recall > 0.75, "recall {recall} over {}", measurable.len());
+    }
+
+    #[test]
+    fn rounds_cover_both_windows() {
+        let (_, data) = campaign();
+        assert_eq!(data.rounds.len(), Timeline::all_round_days().len());
+        assert_eq!(data.rounds.first().map(|(d, _)| *d), Some(15));
+        assert_eq!(data.rounds.last().map(|(d, _)| *d), Some(126));
+    }
+
+    #[test]
+    fn patching_hosts_flip_status_at_their_patch_day() {
+        let (world, data) = campaign();
+        let mut checked = 0;
+        for &host in &data.tracked {
+            let profile = &world.host(host).profile;
+            let Some(patch_day) = profile.patch_day else {
+                continue;
+            };
+            if patch_day > Timeline::END || profile.blacklist_after.is_some() {
+                continue;
+            }
+            // After the patch day the host must never measure vulnerable.
+            for (day, statuses) in &data.rounds {
+                if *day >= patch_day {
+                    assert_ne!(
+                        statuses.get(&host),
+                        Some(&RoundStatus::Vulnerable),
+                        "host {host:?} patched on day {patch_day} but vulnerable on {day}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0, "some patching host must have been checked");
+    }
+
+    #[test]
+    fn inference_rules_work() {
+        let (_, data) = campaign();
+        let host = *data.tracked.first().expect("tracked hosts exist");
+        // Whatever the measurements, inference must be monotone: never
+        // Patched before Vulnerable.
+        let mut seen_patched = false;
+        for (day, _) in &data.rounds {
+            match data.inferred_status(host, *day) {
+                RoundStatus::Patched => seen_patched = true,
+                RoundStatus::Vulnerable => {
+                    assert!(!seen_patched, "no regression from patched to vulnerable");
+                }
+                RoundStatus::Inconclusive => {}
+            }
+        }
+    }
+
+    #[test]
+    fn ethics_audit_reflects_the_campaign() {
+        let (world, data) = campaign();
+        // Longitudinal rounds re-contact the same addresses, so some
+        // contacts must have waited out the 90-second spacing...
+        assert!(data.ethics.immediate > 0);
+        // ... and the sequential prober never holds two connections.
+        assert!(data.ethics.peak_concurrency <= 2);
+        // Every probe admitted went through the guard: at least one
+        // contact per host in the initial sweep.
+        assert!(
+            (data.ethics.immediate + data.ethics.spaced) as usize >= world.hosts.len(),
+            "every address was contacted at least once"
+        );
+    }
+
+    #[test]
+    fn snapshot_covers_all_vulnerable_domains() {
+        let (_, data) = campaign();
+        assert_eq!(data.snapshot.len(), data.vulnerable_domains.len());
+        assert!(!data.snapshot.is_empty());
+    }
+
+    #[test]
+    fn some_patching_is_observed_by_february() {
+        let (_, data) = campaign();
+        let patched = data
+            .snapshot
+            .values()
+            .filter(|s| **s == SnapshotStatus::Patched)
+            .count();
+        assert!(
+            patched > 0,
+            "the snapshot must observe some patched domains"
+        );
+        let vulnerable = data
+            .snapshot
+            .values()
+            .filter(|s| **s == SnapshotStatus::Vulnerable)
+            .count();
+        assert!(
+            vulnerable > patched,
+            "but the strong majority must remain vulnerable (~80%)"
+        );
+    }
+}

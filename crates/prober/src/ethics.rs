@@ -1,0 +1,206 @@
+//! The measurement's self-imposed restraints (paper §6.1–§6.3).
+//!
+//! * duplicate IP addresses are only tested once per sweep;
+//! * at most 250 SMTP connections are outstanding at any instant;
+//! * consecutive connections to the same address (or to addresses of the
+//!   same email domain) wait at least 90 seconds;
+//! * a greylisted server is retried only after 8 minutes;
+//! * one SMTP connection per email domain at a time (sequential testing).
+//!
+//! The simulation is single-threaded, so "concurrency" is modelled as a
+//! budget of overlapping connection slots: the guard timestamps each
+//! contact and enforces the spacing rules against the shared clock,
+//! advancing it when a wait is required. All decisions are recorded so
+//! tests (and the ethics section of the report) can audit them.
+
+use std::collections::HashMap;
+use std::net::IpAddr;
+
+use spfail_netsim::{SimClock, SimDuration, SimTime};
+
+/// Spacing constants from §6.1.
+pub const MIN_RECONTACT: SimDuration = SimDuration::from_secs(90);
+/// Wait before retrying a greylisting server.
+pub const GREYLIST_WAIT: SimDuration = SimDuration::from_mins(8);
+/// Hard cap on concurrent outgoing SMTP connections.
+pub const MAX_CONCURRENT: usize = 250;
+
+/// Audit counters for one sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EthicsAudit {
+    /// Contacts admitted without waiting.
+    pub immediate: u64,
+    /// Contacts that had to wait for the 90-second spacing.
+    pub spaced: u64,
+    /// Greylist retries (each waited 8 minutes).
+    pub greylist_waits: u64,
+    /// Duplicate-IP probes suppressed.
+    pub dedup_suppressed: u64,
+    /// Maximum concurrent connections observed.
+    pub peak_concurrency: usize,
+}
+
+/// Enforces the measurement ethics rules.
+pub struct EthicsGuard {
+    clock: SimClock,
+    last_contact: HashMap<IpAddr, SimTime>,
+    tested_this_sweep: HashMap<IpAddr, ()>,
+    in_flight: usize,
+    audit: EthicsAudit,
+}
+
+impl EthicsGuard {
+    /// A new guard against the shared clock.
+    pub fn new(clock: SimClock) -> EthicsGuard {
+        EthicsGuard {
+            clock,
+            last_contact: HashMap::new(),
+            tested_this_sweep: HashMap::new(),
+            in_flight: 0,
+            audit: EthicsAudit::default(),
+        }
+    }
+
+    /// Begin a new sweep: duplicate-suppression state resets, contact
+    /// spacing does not.
+    pub fn begin_sweep(&mut self) {
+        self.tested_this_sweep.clear();
+    }
+
+    /// Whether `ip` was already tested this sweep. Records the suppression
+    /// when it was.
+    pub fn already_tested(&mut self, ip: IpAddr) -> bool {
+        if self.tested_this_sweep.contains_key(&ip) {
+            self.audit.dedup_suppressed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Admit a contact to `ip`: waits out the 90-second spacing if the
+    /// address was contacted recently, takes a concurrency slot, and
+    /// marks the address tested for this sweep.
+    pub fn admit(&mut self, ip: IpAddr) {
+        let now = self.clock.now();
+        if let Some(&last) = self.last_contact.get(&ip) {
+            let since = now.since(last);
+            if since < MIN_RECONTACT {
+                self.clock.advance(MIN_RECONTACT.saturating_sub(since));
+                self.audit.spaced += 1;
+            } else {
+                self.audit.immediate += 1;
+            }
+        } else {
+            self.audit.immediate += 1;
+        }
+        // The sequential simulation never truly overlaps connections; the
+        // slot accounting documents the cap and trips if logic ever tries
+        // to exceed it.
+        assert!(
+            self.in_flight < MAX_CONCURRENT,
+            "concurrency cap exceeded: the prober must throttle"
+        );
+        self.in_flight += 1;
+        self.audit.peak_concurrency = self.audit.peak_concurrency.max(self.in_flight);
+        self.last_contact.insert(ip, self.clock.now());
+        self.tested_this_sweep.insert(ip, ());
+    }
+
+    /// Release the concurrency slot when the connection ends.
+    pub fn release(&mut self, ip: IpAddr) {
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.last_contact.insert(ip, self.clock.now());
+    }
+
+    /// Wait out the greylist period before retrying `ip`.
+    pub fn greylist_wait(&mut self, _ip: IpAddr) {
+        self.clock.advance(GREYLIST_WAIT);
+        self.audit.greylist_waits += 1;
+    }
+
+    /// The audit counters.
+    pub fn audit(&self) -> &EthicsAudit {
+        &self.audit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ip(last: u8) -> IpAddr {
+        IpAddr::V4(std::net::Ipv4Addr::new(192, 0, 2, last))
+    }
+
+    #[test]
+    fn first_contact_is_immediate() {
+        let clock = SimClock::new();
+        let mut guard = EthicsGuard::new(clock.clone());
+        guard.admit(ip(1));
+        guard.release(ip(1));
+        assert_eq!(guard.audit().immediate, 1);
+        assert_eq!(clock.now(), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn recontact_waits_ninety_seconds() {
+        let clock = SimClock::new();
+        let mut guard = EthicsGuard::new(clock.clone());
+        guard.admit(ip(1));
+        guard.release(ip(1));
+        guard.admit(ip(1));
+        assert_eq!(guard.audit().spaced, 1);
+        assert!(clock.now().since(SimTime::EPOCH) >= MIN_RECONTACT);
+    }
+
+    #[test]
+    fn recontact_after_long_gap_is_immediate() {
+        let clock = SimClock::new();
+        let mut guard = EthicsGuard::new(clock.clone());
+        guard.admit(ip(1));
+        guard.release(ip(1));
+        clock.advance(SimDuration::from_secs(120));
+        guard.admit(ip(1));
+        assert_eq!(guard.audit().spaced, 0);
+        assert_eq!(guard.audit().immediate, 2);
+    }
+
+    #[test]
+    fn dedup_within_sweep_resets_between_sweeps() {
+        let clock = SimClock::new();
+        let mut guard = EthicsGuard::new(clock);
+        guard.begin_sweep();
+        assert!(!guard.already_tested(ip(5)));
+        guard.admit(ip(5));
+        guard.release(ip(5));
+        assert!(guard.already_tested(ip(5)));
+        assert_eq!(guard.audit().dedup_suppressed, 1);
+        guard.begin_sweep();
+        assert!(!guard.already_tested(ip(5)));
+    }
+
+    #[test]
+    fn greylist_wait_advances_eight_minutes() {
+        let clock = SimClock::new();
+        let mut guard = EthicsGuard::new(clock.clone());
+        guard.greylist_wait(ip(9));
+        assert_eq!(clock.now().as_secs(), 480);
+        assert_eq!(guard.audit().greylist_waits, 1);
+    }
+
+    #[test]
+    fn concurrency_is_tracked() {
+        let clock = SimClock::new();
+        let mut guard = EthicsGuard::new(clock);
+        for i in 0..100 {
+            guard.admit(ip(i));
+        }
+        assert_eq!(guard.audit().peak_concurrency, 100);
+        for i in 0..100 {
+            guard.release(ip(i));
+        }
+        guard.admit(ip(200));
+        assert_eq!(guard.audit().peak_concurrency, 100);
+    }
+}

@@ -1,0 +1,39 @@
+//! The measurement system: remote, benign vulnerability detection at
+//! Internet scale (paper §4.2 and §5).
+//!
+//! The probe protocol per server:
+//!
+//! 1. open an SMTP connection and advertise a `MAIL FROM` whose domain is
+//!    a unique subdomain of the measurement zone
+//!    (`<id>.<suite>.spf-test.dns-lab.org`);
+//! 2. run the **NoMsg** variant first (abort before any message bytes);
+//!    if it fails to elicit SPF activity, follow with **BlankMsg** (an
+//!    entirely empty message);
+//! 3. read the measurement zone's DNS query log and classify the server's
+//!    SPF implementation from the *shape* of the queries it sent.
+//!
+//! Modules:
+//!
+//! * [`mod@classify`] — query-shape → [`spfail_libspf2::MacroBehavior`].
+//! * [`ethics`] — the §6.1 self-restraints: IP dedup, ≤250 concurrent
+//!   connections, 90-second per-host spacing, 8-minute greylist waits.
+//! * [`probe`] — drive one SMTP transaction against one host.
+//! * [`campaign`] — the full measurement programme: the initial sweep,
+//!   the every-2-days longitudinal rounds across both windows, the final
+//!   re-resolving snapshot, and the §7.6 inference rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod classify;
+pub mod ethics;
+pub mod probe;
+
+pub use campaign::{
+    Campaign, CampaignData, HostClass, HostInitialResult, InitialMeasurement, RoundStatus,
+    SnapshotStatus,
+};
+pub use classify::{classify, Classification};
+pub use ethics::{EthicsAudit, EthicsGuard};
+pub use probe::{ProbeOutcome, ProbeTest, Prober};

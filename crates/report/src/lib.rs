@@ -1,0 +1,85 @@
+//! The report harness: regenerate every table and figure of the paper.
+//!
+//! * [`pipeline`] — run the whole reproduction once (world → initial
+//!   sweep → longitudinal campaign → notification campaign) and keep the
+//!   results in a [`pipeline::Context`] the exhibit builders share.
+//! * [`table`] — plain-text table rendering.
+//! * [`series`] — time-series containers and a text sparkline renderer.
+//! * [`tables`] — Tables 1–7.
+//! * [`figures`] — Figures 2–8 and the §7.7 notification funnel.
+//!
+//! The `experiments` binary drives everything:
+//!
+//! ```text
+//! cargo run -p spfail-report --release --bin experiments -- --scale 0.05
+//! ```
+//!
+//! printing each exhibit and emitting machine-readable JSON alongside.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod pipeline;
+pub mod series;
+pub mod stats;
+pub mod table;
+pub mod tables;
+
+pub use pipeline::Context;
+pub use table::Table;
+
+use serde_json::Value;
+
+/// One regenerated exhibit.
+#[derive(Debug, Clone)]
+pub struct Exhibit {
+    /// Identifier, e.g. `"table3"` or `"fig7"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// What the paper reported, for the paper-vs-measured record.
+    pub paper_claim: &'static str,
+    /// The rendered text (tables and/or series plots).
+    pub rendered: String,
+    /// Machine-readable contents.
+    pub json: Value,
+}
+
+/// Build every exhibit from one pipeline run, in paper order.
+pub fn all_exhibits(ctx: &Context) -> Vec<Exhibit> {
+    vec![
+        tables::table1(ctx),
+        tables::table2(ctx),
+        tables::table3(ctx),
+        tables::table4(ctx),
+        tables::table5(ctx),
+        tables::table6(),
+        tables::table7(ctx),
+        figures::fig2(ctx),
+        figures::fig3(ctx),
+        figures::fig4(ctx),
+        figures::fig5(ctx),
+        figures::fig6(ctx),
+        figures::fig7(ctx),
+        figures::fig8(ctx),
+        figures::notification_funnel(ctx),
+        figures::attribution(ctx),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod testctx {
+    //! A single shared pipeline run for the exhibit tests: the campaign
+    //! is deterministic, so every test can read the same context.
+    use super::Context;
+    use std::sync::OnceLock;
+
+    static CTX: OnceLock<Context> = OnceLock::new();
+
+    pub(crate) fn shared() -> &'static Context {
+        // 0.025 ≈ 10.5K Alexa domains: large enough that per-set rates sit
+        // within a few points of their calibration targets.
+        CTX.get_or_init(|| Context::run(0.025, 11))
+    }
+}

@@ -1,0 +1,156 @@
+//! One full reproduction run, shared by every exhibit builder.
+
+use std::collections::BTreeSet;
+
+use spfail_notify::{NotificationCampaign, NotificationRecord, NotificationReport, PixelLog};
+use spfail_prober::{Campaign, CampaignData, HostClass, HostInitialResult};
+use spfail_world::{DomainId, HostId, World, WorldConfig};
+
+/// The domain groups the paper reports on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetFilter {
+    /// Every domain in either set.
+    All,
+    /// The Alexa Top List.
+    AlexaTopList,
+    /// The Alexa Top 1000 subset.
+    Alexa1000,
+    /// The 2-Week MX set.
+    TwoWeek,
+    /// The Top Email Providers reference set.
+    TopProviders,
+}
+
+impl SetFilter {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SetFilter::All => "All",
+            SetFilter::AlexaTopList => "Alexa Top List",
+            SetFilter::Alexa1000 => "Alexa 1000",
+            SetFilter::TwoWeek => "2-Week MX",
+            SetFilter::TopProviders => "Top Email Providers",
+        }
+    }
+}
+
+/// The results of one end-to-end run.
+pub struct Context {
+    /// The generated world.
+    pub world: World,
+    /// Measurement campaign results.
+    pub campaign: CampaignData,
+    /// Notification records.
+    pub notifications: Vec<NotificationRecord>,
+    /// The §7.7 funnel.
+    pub funnel: NotificationReport,
+    /// The tracking-pixel log.
+    pub pixels: PixelLog,
+}
+
+impl Context {
+    /// Run the whole reproduction at `scale` with `seed`.
+    pub fn run(scale: f64, seed: u64) -> Context {
+        let world = World::generate(WorldConfig {
+            seed,
+            scale,
+            ..WorldConfig::default()
+        });
+        let campaign = Campaign::run(&world);
+        let mut pixels = PixelLog::new();
+        // The notification list is the *measured* vulnerable set — domains
+        // hosted on addresses whose initial probe showed the fingerprint —
+        // exactly as the paper built it.
+        let (notifications, funnel) =
+            NotificationCampaign::run(&world, &campaign.vulnerable_domains, &mut pixels);
+        Context {
+            world,
+            campaign,
+            notifications,
+            funnel,
+            pixels,
+        }
+    }
+
+    /// Whether `domain` is in `set`.
+    pub fn in_set(&self, domain: DomainId, set: SetFilter) -> bool {
+        let d = self.world.domain(domain);
+        match set {
+            SetFilter::All => true,
+            SetFilter::AlexaTopList => d.in_alexa(),
+            SetFilter::Alexa1000 => d.in_alexa_top(self.world.config.top1000_cutoff()),
+            SetFilter::TwoWeek => d.in_two_week(),
+            SetFilter::TopProviders => d.top_provider,
+        }
+    }
+
+    /// All domains in `set`.
+    pub fn set_domains(&self, set: SetFilter) -> Vec<DomainId> {
+        (0..self.world.domains.len() as u32)
+            .map(DomainId)
+            .filter(|&d| self.in_set(d, set))
+            .collect()
+    }
+
+    /// Unique hosts serving any domain of `set`.
+    pub fn set_hosts(&self, set: SetFilter) -> Vec<HostId> {
+        let mut hosts = BTreeSet::new();
+        for d in self.set_domains(set) {
+            hosts.extend(self.world.domain(d).hosts.iter().copied());
+        }
+        hosts.into_iter().collect()
+    }
+
+    /// The initial probe results for one host.
+    pub fn initial(&self, host: HostId) -> &HostInitialResult {
+        self.campaign
+            .initial
+            .results
+            .get(&host)
+            .expect("every host was probed in the initial sweep")
+    }
+
+    /// Table 3's outcome class for one host.
+    pub fn host_class(&self, host: HostId) -> HostClass {
+        self.initial(host).class()
+    }
+
+    /// Initially vulnerable domains restricted to `set`.
+    pub fn vulnerable_domains_in(&self, set: SetFilter) -> Vec<DomainId> {
+        self.campaign
+            .vulnerable_domains
+            .iter()
+            .copied()
+            .filter(|&d| self.in_set(d, set))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_runs_end_to_end_and_sets_are_consistent() {
+        let ctx = Context::run(0.004, 7);
+        let all = ctx.set_domains(SetFilter::All).len();
+        let alexa = ctx.set_domains(SetFilter::AlexaTopList).len();
+        let two_week = ctx.set_domains(SetFilter::TwoWeek).len();
+        let providers = ctx.set_domains(SetFilter::TopProviders).len();
+        assert_eq!(all, ctx.world.domains.len());
+        assert!(alexa > two_week);
+        assert_eq!(providers, 20);
+        let top1000 = ctx.set_domains(SetFilter::Alexa1000).len();
+        assert!(top1000 <= alexa);
+        // Every vulnerable domain is in at least one reporting set.
+        for &d in &ctx.campaign.vulnerable_domains {
+            assert!(ctx.in_set(d, SetFilter::All));
+        }
+        assert!(ctx.funnel.sent > 0);
+        assert_eq!(
+            ctx.set_hosts(SetFilter::All).len(),
+            ctx.world.hosts.len(),
+            "every host serves some domain"
+        );
+    }
+}

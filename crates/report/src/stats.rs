@@ -1,0 +1,101 @@
+//! Small statistics helpers for the exhibits.
+//!
+//! Every headline rate in the paper (vulnerable share, patch rate, bounce
+//! rate) is a binomial proportion estimated from a finite sample; at
+//! reduced simulation scales the sampling error is material, so the
+//! exhibits attach Wilson score intervals to their JSON output and the
+//! tests assert against intervals rather than point estimates.
+
+/// The Wilson score interval for a binomial proportion.
+///
+/// Returns `(low, high)` at the given z (1.96 ≈ 95%). Chosen over the
+/// normal approximation because it behaves at the extremes (0, small n)
+/// the small-scale runs actually hit.
+pub fn wilson_interval(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denominator = 1.0 + z2 / n;
+    let centre = p + z2 / (2.0 * n);
+    let margin = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    (
+        ((centre - margin) / denominator).max(0.0),
+        ((centre + margin) / denominator).min(1.0),
+    )
+}
+
+/// The 95% Wilson interval.
+pub fn wilson95(successes: usize, trials: usize) -> (f64, f64) {
+    wilson_interval(successes, trials, 1.959_964)
+}
+
+/// Whether `target` is inside the 95% interval of an observed proportion —
+/// the "is this consistent with the paper's rate" check.
+pub fn consistent_with(successes: usize, trials: usize, target: f64) -> bool {
+    let (low, high) = wilson95(successes, trials);
+    (low..=high).contains(&target)
+}
+
+/// A JSON-ready summary of an observed proportion.
+pub fn proportion_json(successes: usize, trials: usize) -> serde_json::Value {
+    let (low, high) = wilson95(successes, trials);
+    serde_json::json!({
+        "successes": successes,
+        "trials": trials,
+        "rate": if trials > 0 { successes as f64 / trials as f64 } else { 0.0 },
+        "ci95_low": low,
+        "ci95_high": high,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        // 50/100 at 95%: the Wilson interval is ~(0.404, 0.596).
+        let (low, high) = wilson95(50, 100);
+        assert!((low - 0.404).abs() < 0.005, "low {low}");
+        assert!((high - 0.596).abs() < 0.005, "high {high}");
+    }
+
+    #[test]
+    fn extremes_behave() {
+        let (low, high) = wilson95(0, 20);
+        assert_eq!(low, 0.0);
+        assert!(high > 0.0 && high < 0.25, "high {high}");
+        let (low, high) = wilson95(20, 20);
+        assert!(low > 0.75 && low < 1.0, "low {low}");
+        assert_eq!(high, 1.0);
+        assert_eq!(wilson95(5, 0), (0.0, 1.0));
+    }
+
+    #[test]
+    fn interval_narrows_with_sample_size() {
+        let (l1, h1) = wilson95(16, 96);
+        let (l2, h2) = wilson95(1600, 9600);
+        assert!(h2 - l2 < h1 - l1);
+        // Both intervals contain the true 1/6.
+        assert!(consistent_with(16, 96, 1.0 / 6.0));
+        assert!(consistent_with(1600, 9600, 1.0 / 6.0));
+    }
+
+    #[test]
+    fn consistency_check_rejects_distant_targets() {
+        assert!(!consistent_with(50, 1000, 0.5));
+        assert!(consistent_with(500, 1000, 0.5));
+    }
+
+    #[test]
+    fn json_summary_shape() {
+        let v = proportion_json(30, 60);
+        assert_eq!(v["successes"], 30);
+        assert_eq!(v["rate"], 0.5);
+        assert!(v["ci95_low"].as_f64().unwrap() < 0.5);
+        assert!(v["ci95_high"].as_f64().unwrap() > 0.5);
+    }
+}

@@ -1,0 +1,191 @@
+//! Plain-text table rendering.
+
+use std::fmt;
+
+/// A rectangular table with a header row.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; ragged rows are padded at render time.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Render with aligned columns (first column left, rest right).
+    pub fn render(&self) -> String {
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = cells.get(i).unwrap_or(&empty);
+                let pad = width - cell.chars().count();
+                if i == 0 {
+                    line.push_str(cell);
+                    line.push_str(&" ".repeat(pad));
+                } else {
+                    line.push_str(&" ".repeat(pad));
+                    line.push_str(cell);
+                }
+                if i + 1 < widths.len() {
+                    line.push_str("  ");
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Table {
+    /// Render as a LaTeX `tabular`, for dropping exhibits straight into a
+    /// paper. The first column is left-aligned, the rest right-aligned;
+    /// `%`, `&`, `#` and `_` are escaped.
+    pub fn render_latex(&self, caption: &str, label: &str) -> String {
+        let columns = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let escape = |cell: &str| {
+            cell.replace('\\', "\\textbackslash{}")
+                .replace('%', "\\%")
+                .replace('&', "\\&")
+                .replace('#', "\\#")
+                .replace('_', "\\_")
+        };
+        let mut spec = String::from("l");
+        spec.push_str(&"r".repeat(columns.saturating_sub(1)));
+        let mut out = String::new();
+        out.push_str("\\begin{table}\n  \\centering\n");
+        out.push_str(&format!("  \\caption{{{}}}\n", escape(caption)));
+        out.push_str(&format!("  \\label{{{label}}}\n"));
+        out.push_str(&format!("  \\begin{{tabular}}{{{spec}}}\n    \\toprule\n"));
+        let row_line = |cells: &[String]| {
+            let mut padded: Vec<String> = cells.iter().map(|c| escape(c)).collect();
+            padded.resize(columns, String::new());
+            format!("    {} \\\\\n", padded.join(" & "))
+        };
+        out.push_str(&row_line(&self.headers));
+        out.push_str("    \\midrule\n");
+        for row in &self.rows {
+            out.push_str(&row_line(row));
+        }
+        out.push_str("    \\bottomrule\n  \\end{tabular}\n\\end{table}\n");
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// `"count (pct%)"` cell formatting, as the paper's tables use.
+pub fn count_pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        return format!("{count} (-)");
+    }
+    let pct = 100.0 * count as f64 / total as f64;
+    if pct >= 10.0 {
+        format!("{count} ({pct:.0}%)")
+    } else {
+        format!("{count} ({pct:.1}%)")
+    }
+}
+
+/// Plain percentage formatting.
+pub fn pct(count: usize, total: usize) -> String {
+    if total == 0 {
+        return "-".to_string();
+    }
+    format!("{:.1}%", 100.0 * count as f64 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["TLD", "Count"]);
+        t.row(["com", "230801"]);
+        t.row(["ru", "19844"]);
+        let rendered = t.render();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("TLD"));
+        assert!(lines[2].ends_with("230801"));
+        assert!(lines[3].ends_with("19844"));
+        // Right-aligned numeric column: both numbers end at same offset.
+        assert_eq!(lines[2].len(), lines[0].len().max(lines[2].len()));
+    }
+
+    #[test]
+    fn ragged_rows_are_padded() {
+        let mut t = Table::new(["A", "B", "C"]);
+        t.row(["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn latex_rendering_escapes_and_structures() {
+        let mut t = Table::new(["TLD", "% Patched"]);
+        t.row([".za", "79%"]);
+        t.row(["a_b & c", "15%"]);
+        let tex = t.render_latex("Patch rates", "tab:patch");
+        assert!(tex.contains("\\begin{tabular}{lr}"));
+        assert!(tex.contains("\\caption{Patch rates}"));
+        assert!(tex.contains("\\label{tab:patch}"));
+        assert!(tex.contains("79\\%"));
+        assert!(tex.contains("a\\_b \\& c"));
+        assert!(tex.contains("\\toprule"));
+        assert!(tex.ends_with("\\end{table}\n"));
+    }
+
+    #[test]
+    fn percent_formatting() {
+        assert_eq!(count_pct(50, 100), "50 (50%)");
+        assert_eq!(count_pct(5, 100), "5 (5.0%)");
+        assert_eq!(count_pct(1, 0), "1 (-)");
+        assert_eq!(pct(1, 8), "12.5%");
+        assert_eq!(pct(1, 0), "-");
+    }
+}

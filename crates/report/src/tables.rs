@@ -1,0 +1,585 @@
+//! Tables 1–7.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Value};
+use spfail_libspf2::MacroBehavior;
+use spfail_prober::{HostClass, SnapshotStatus};
+use spfail_world::{tld as tldmod, PACKAGE_TIMELINE};
+
+use crate::pipeline::{Context, SetFilter};
+use crate::table::{count_pct, pct, Table};
+use crate::Exhibit;
+
+/// Table 1: overlap between the domain measurement sets.
+pub fn table1(ctx: &Context) -> Exhibit {
+    let sets = [
+        SetFilter::TwoWeek,
+        SetFilter::Alexa1000,
+        SetFilter::AlexaTopList,
+    ];
+    let mut table = Table::new(["Domain Set", "∩ 2-Week MX", "∩ Alexa 1000", "∩ Alexa Top List"]);
+    let mut cells = serde_json::Map::new();
+    for row_set in sets {
+        let row_domains = ctx.set_domains(row_set);
+        let mut row = vec![row_set.label().to_string()];
+        for col_set in sets {
+            let overlap = row_domains
+                .iter()
+                .filter(|&&d| ctx.in_set(d, col_set))
+                .count();
+            row.push(count_pct(overlap, row_domains.len()));
+            cells.insert(
+                format!("{}|{}", row_set.label(), col_set.label()),
+                json!(overlap),
+            );
+        }
+        table.row(row);
+    }
+    Exhibit {
+        id: "table1",
+        title: "Table 1: Overlap in domain measurement sets",
+        paper_claim: "2-Week MX: 22,911 domains, 135 (0.5%) also in Alexa 1000, \
+                      2,922 (12.7%) also in the Alexa Top List",
+        rendered: table.render(),
+        json: Value::Object(cells),
+    }
+}
+
+/// Table 2: most common TLDs per domain set.
+pub fn table2(ctx: &Context) -> Exhibit {
+    let mut table = Table::new(["#", "Alexa TLD", "Count", "2-Week TLD", "Count"]);
+    let count_tlds = |set: SetFilter| -> Vec<(String, usize)> {
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for d in ctx.set_domains(set) {
+            *counts.entry(ctx.world.domain(d).tld.clone()).or_default() += 1;
+        }
+        let mut sorted: Vec<(String, usize)> = counts.into_iter().collect();
+        sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        sorted.truncate(15);
+        sorted
+    };
+    let alexa = count_tlds(SetFilter::AlexaTopList);
+    let two_week = count_tlds(SetFilter::TwoWeek);
+    for i in 0..15 {
+        let (at, ac) = alexa
+            .get(i)
+            .map(|(t, c)| (t.clone(), c.to_string()))
+            .unwrap_or_default();
+        let (wt, wc) = two_week
+            .get(i)
+            .map(|(t, c)| (t.clone(), c.to_string()))
+            .unwrap_or_default();
+        table.row([format!("{}", i + 1), at, ac, wt, wc]);
+    }
+    Exhibit {
+        id: "table2",
+        title: "Table 2: Most common TLDs per domain set",
+        paper_claim: "com dominates both sets (55% of Alexa, 49% of 2-Week MX); \
+                      Alexa tail is ccTLD-heavy (ru, ir, ...), 2-Week tail is \
+                      institutional (org, edu, net, us, gov)",
+        rendered: table.render(),
+        json: json!({
+            "alexa": alexa,
+            "two_week": two_week,
+        }),
+    }
+}
+
+/// Per-set NoMsg/BlankMsg outcome counts (one Table 3 column pair).
+#[derive(Debug, Default, Clone, serde::Serialize)]
+struct Outcomes {
+    total: usize,
+    refused: usize,
+    nomsg_total: usize,
+    nomsg_failure: usize,
+    nomsg_measured: usize,
+    nomsg_not_measured: usize,
+    blank_total: usize,
+    blank_failure: usize,
+    blank_measured: usize,
+    blank_not_measured: usize,
+    total_measured: usize,
+}
+
+fn address_outcomes(ctx: &Context, set: SetFilter) -> Outcomes {
+    let mut o = Outcomes::default();
+    for host in ctx.set_hosts(set) {
+        o.total += 1;
+        let initial = ctx.initial(host);
+        if initial.nomsg.refused() {
+            o.refused += 1;
+            continue;
+        }
+        o.nomsg_total += 1;
+        if initial.nomsg.spf_measured() {
+            o.nomsg_measured += 1;
+        } else if initial.nomsg.smtp_failure() {
+            o.nomsg_failure += 1;
+        } else {
+            o.nomsg_not_measured += 1;
+        }
+        if let Some(blank) = &initial.blankmsg {
+            o.blank_total += 1;
+            if blank.spf_measured() {
+                o.blank_measured += 1;
+            } else if blank.smtp_failure() {
+                o.blank_failure += 1;
+            } else {
+                o.blank_not_measured += 1;
+            }
+        }
+        if ctx.host_class(host) == HostClass::SpfMeasured {
+            o.total_measured += 1;
+        }
+    }
+    o
+}
+
+fn domain_outcomes(ctx: &Context, set: SetFilter) -> Outcomes {
+    let mut o = Outcomes::default();
+    for domain in ctx.set_domains(set) {
+        o.total += 1;
+        let hosts = &ctx.world.domain(domain).hosts;
+        let initials: Vec<_> = hosts.iter().map(|&h| ctx.initial(h)).collect();
+        if initials.iter().all(|i| i.nomsg.refused()) {
+            o.refused += 1;
+            continue;
+        }
+        o.nomsg_total += 1;
+        let any_nomsg_measured = initials.iter().any(|i| i.nomsg.spf_measured());
+        let all_nomsg_failed = initials
+            .iter()
+            .filter(|i| !i.nomsg.refused())
+            .all(|i| i.nomsg.smtp_failure());
+        if any_nomsg_measured {
+            o.nomsg_measured += 1;
+        } else if all_nomsg_failed {
+            o.nomsg_failure += 1;
+        } else {
+            o.nomsg_not_measured += 1;
+        }
+        let blanks: Vec<_> = initials.iter().filter_map(|i| i.blankmsg.as_ref()).collect();
+        if !blanks.is_empty() {
+            o.blank_total += 1;
+            if blanks.iter().any(|b| b.spf_measured()) {
+                o.blank_measured += 1;
+            } else if blanks.iter().all(|b| b.smtp_failure()) {
+                o.blank_failure += 1;
+            } else {
+                o.blank_not_measured += 1;
+            }
+        }
+        if initials.iter().any(|i| i.classification().is_some()) {
+            o.total_measured += 1;
+        }
+    }
+    o
+}
+
+/// Table 3: NoMsg/BlankMsg test outcomes by domain set.
+pub fn table3(ctx: &Context) -> Exhibit {
+    let columns = [
+        ("Alexa domains", domain_outcomes(ctx, SetFilter::AlexaTopList)),
+        ("Alexa addrs", address_outcomes(ctx, SetFilter::AlexaTopList)),
+        ("2-Week domains", domain_outcomes(ctx, SetFilter::TwoWeek)),
+        ("2-Week addrs", address_outcomes(ctx, SetFilter::TwoWeek)),
+        ("Providers", domain_outcomes(ctx, SetFilter::TopProviders)),
+    ];
+    let mut table = Table::new(
+        std::iter::once("Outcome".to_string())
+            .chain(columns.iter().map(|(l, _)| l.to_string())),
+    );
+    type RowGetter = fn(&Outcomes) -> (usize, usize);
+    let rows: [(&str, RowGetter); 11] = [
+        ("Total Tested", |o| (o.total, o.total)),
+        ("Connection Refused", |o| (o.refused, o.total)),
+        ("NoMsg Test", |o| (o.nomsg_total, o.total)),
+        ("  SMTP Failure", |o| (o.nomsg_failure, o.nomsg_total)),
+        ("  SPF Measured", |o| (o.nomsg_measured, o.nomsg_total)),
+        ("  SPF Not Measured", |o| (o.nomsg_not_measured, o.nomsg_total)),
+        ("BlankMsg Test", |o| (o.blank_total, o.total)),
+        ("  SMTP Failure", |o| (o.blank_failure, o.blank_total)),
+        ("  SPF Measured", |o| (o.blank_measured, o.blank_total)),
+        ("  SPF Not Measured", |o| (o.blank_not_measured, o.blank_total)),
+        ("Total SPF Measured", |o| (o.total_measured, o.total)),
+    ];
+    for (label, get) in rows {
+        let mut row = vec![label.to_string()];
+        for (_, outcomes) in &columns {
+            let (count, total) = get(outcomes);
+            row.push(count_pct(count, total));
+        }
+        table.row(row);
+    }
+    Exhibit {
+        id: "table3",
+        title: "Table 3: NoMsg/BlankMsg test outcomes by domain set",
+        paper_claim: "Alexa: 418,840 domains (26% refused, 48% SPF measured) on \
+                      174,679 addresses (47% refused, 23% measured); 2-Week: 22,911 \
+                      domains (10% refused, 73% measured) on 11,203 addresses; \
+                      BlankMsg recovers most hosts NoMsg misses",
+        rendered: table.render(),
+        json: json!(columns
+            .iter()
+            .map(|(label, o)| (label.to_string(), serde_json::to_value(o).expect("serializable")))
+            .collect::<BTreeMap<String, Value>>()),
+    }
+}
+
+/// Table 4: initial SPF results breakdown.
+pub fn table4(ctx: &Context) -> Exhibit {
+    let mut table = Table::new([
+        "Set",
+        "SPF Measured",
+        "Vulnerable",
+        "Other non-compliant",
+        "RFC-compliant",
+    ]);
+    let mut data = serde_json::Map::new();
+    for set in [SetFilter::AlexaTopList, SetFilter::TwoWeek, SetFilter::All] {
+        // Address-level breakdown.
+        let mut measured = 0usize;
+        let mut vulnerable = 0usize;
+        let mut erroneous = 0usize;
+        for host in ctx.set_hosts(set) {
+            let Some(classification) = ctx.initial(host).classification() else {
+                continue;
+            };
+            measured += 1;
+            if classification.vulnerable() {
+                vulnerable += 1;
+            } else if classification.erroneous_non_vulnerable() {
+                erroneous += 1;
+            }
+        }
+        let compliant = measured - vulnerable - erroneous;
+        table.row([
+            format!("{} (addresses)", set.label()),
+            measured.to_string(),
+            count_pct(vulnerable, measured),
+            count_pct(erroneous, measured),
+            count_pct(compliant, measured),
+        ]);
+
+        // Domain-level breakdown: a domain inherits the worst behaviour
+        // among its measured hosts (vulnerable > erroneous > compliant).
+        let mut d_measured = 0usize;
+        let mut d_vulnerable = 0usize;
+        let mut d_erroneous = 0usize;
+        for domain in ctx.set_domains(set) {
+            let classes: Vec<_> = ctx
+                .world
+                .domain(domain)
+                .hosts
+                .iter()
+                .filter_map(|&h| ctx.initial(h).classification())
+                .collect();
+            if classes.is_empty() {
+                continue;
+            }
+            d_measured += 1;
+            if classes.iter().any(|c| c.vulnerable()) {
+                d_vulnerable += 1;
+            } else if classes.iter().any(|c| c.erroneous_non_vulnerable()) {
+                d_erroneous += 1;
+            }
+        }
+        let d_compliant = d_measured - d_vulnerable - d_erroneous;
+        table.row([
+            format!("{} (domains)", set.label()),
+            d_measured.to_string(),
+            count_pct(d_vulnerable, d_measured),
+            count_pct(d_erroneous, d_measured),
+            count_pct(d_compliant, d_measured),
+        ]);
+
+        data.insert(
+            set.label().to_string(),
+            json!({
+                "measured": measured,
+                "vulnerable": vulnerable,
+                "erroneous": erroneous,
+                "compliant": compliant,
+                "vulnerable_ci95": crate::stats::proportion_json(vulnerable, measured),
+                "erroneous_ci95": crate::stats::proportion_json(erroneous, measured),
+                "domains": {
+                    "measured": d_measured,
+                    "vulnerable": d_vulnerable,
+                    "erroneous": d_erroneous,
+                    "compliant": d_compliant,
+                },
+            }),
+        );
+    }
+    Exhibit {
+        id: "table4",
+        title: "Table 4: SPF initial results breakdown (addresses)",
+        paper_claim: "~1 in 6 SPF-validating Alexa addresses vulnerable, ~1 in 10 \
+                      for 2-Week MX; ~6% more expand macros erroneously without \
+                      being vulnerable; 7,212 vulnerable addresses in total (17% \
+                      of tested servers)",
+        rendered: table.render(),
+        json: Value::Object(data),
+    }
+}
+
+/// Table 5: best/worst patch rates by TLD.
+pub fn table5(ctx: &Context) -> Exhibit {
+    let min_group = ((50.0 * ctx.world.config.scale).round() as usize).max(3);
+    let mut per_tld: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+    for &domain in &ctx.campaign.vulnerable_domains {
+        let tld = ctx.world.domain(domain).tld.clone();
+        let entry = per_tld.entry(tld).or_default();
+        entry.1 += 1;
+        if ctx.campaign.snapshot.get(&domain) == Some(&SnapshotStatus::Patched) {
+            entry.0 += 1;
+        }
+    }
+    let mut rows: Vec<(String, usize, usize, f64)> = per_tld
+        .iter()
+        .filter(|(_, (_, total))| *total >= min_group)
+        .map(|(tld, (patched, total))| {
+            (tld.clone(), *patched, *total, *patched as f64 / *total as f64)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("rates are finite"));
+
+    let mut table = Table::new(["TLD", "# Patched", "# Initially Vulnerable", "% Patched", "Paper"]);
+    let paper = |tld: &str| -> String {
+        tldmod::TLD_PATCH_RATES
+            .iter()
+            .find(|(t, _)| *t == tld)
+            .map(|(_, r)| format!("{:.0}%", r * 100.0))
+            .unwrap_or_else(|| "-".to_string())
+    };
+    let shown: Vec<&(String, usize, usize, f64)> = if rows.len() <= 10 {
+        rows.iter().collect()
+    } else {
+        rows.iter().take(5).chain(rows.iter().rev().take(5).rev()).collect()
+    };
+    for (tld, patched, total, rate) in shown {
+        table.row([
+            format!(".{tld}"),
+            patched.to_string(),
+            total.to_string(),
+            format!("{:.0}%", rate * 100.0),
+            paper(tld),
+        ]);
+    }
+    Exhibit {
+        id: "table5",
+        title: "Table 5: Best/worst patch rates for TLDs with enough vulnerable domains",
+        paper_claim: "za 79%, gr 75%, de 46%, eu 29%, tr 28% at the top; \
+                      ir/il 3%, by/ru 2%, tw 0% at the bottom; com benchmark 15%",
+        rendered: table.render(),
+        json: json!(rows
+            .iter()
+            .map(|(tld, p, t, r)| json!({"tld": tld, "patched": p, "vulnerable": t, "rate": r}))
+            .collect::<Vec<_>>()),
+    }
+}
+
+/// Table 6: package-manager patch timeline (input data, rendered as the
+/// paper prints it).
+pub fn table6() -> Exhibit {
+    let mut table = Table::new([
+        "Package Manager",
+        "CVE-2021-20314",
+        "CVE-2021-33912/13",
+    ]);
+    for row in PACKAGE_TIMELINE {
+        let fmt = |days: Option<u16>, date: Option<&str>, bundled: bool| match (days, date) {
+            (Some(d), Some(date)) => {
+                let star = if bundled { "*" } else { "" };
+                format!("{d}{star} ({date})")
+            }
+            _ => "Unpatched".to_string(),
+        };
+        table.row([
+            row.name.to_string(),
+            fmt(row.days_20314, row.date_20314, false),
+            fmt(row.days_33912, row.date_33912, row.bundled),
+        ]);
+    }
+    Exhibit {
+        id: "table6",
+        title: "Table 6: Patch timeline for package managers (days from disclosure)",
+        paper_claim: "Debian patched the day after disclosure; RedHat/Gentoo/Arch \
+                      bundled the fix with CVE-2021-20314 before disclosure; \
+                      Ubuntu, FreeBSD, NetBSD and SUSE remained unpatched",
+        rendered: format!("{}(* fix bundled with the CVE-2021-20314 update)\n", table.render()),
+        json: json!(PACKAGE_TIMELINE
+            .iter()
+            .map(|r| json!({
+                "manager": r.name,
+                "days_20314": r.days_20314,
+                "date_20314": r.date_20314,
+                "days_33912": r.days_33912,
+                "date_33912": r.date_33912,
+                "bundled": r.bundled,
+            }))
+            .collect::<Vec<_>>()),
+    }
+}
+
+/// Table 7: macro-expansion behaviours by IP address.
+pub fn table7(ctx: &Context) -> Exhibit {
+    let mut counts: BTreeMap<MacroBehavior, usize> = BTreeMap::new();
+    let mut measured = 0usize;
+    let mut multi = 0usize;
+    let mut unknown = 0usize;
+    for host in ctx.set_hosts(SetFilter::All) {
+        let Some(classification) = ctx.initial(host).classification() else {
+            continue;
+        };
+        measured += 1;
+        for &behavior in &classification.behaviors {
+            *counts.entry(behavior).or_default() += 1;
+        }
+        if classification.unknown_patterns > 0 {
+            unknown += 1;
+        }
+        if classification.multi_pattern() {
+            multi += 1;
+        }
+    }
+    let mut table = Table::new(["Behaviour", "Addresses", "% of measured"]);
+    for (behavior, count) in &counts {
+        table.row([behavior.label().to_string(), count.to_string(), pct(*count, measured)]);
+    }
+    if unknown > 0 {
+        table.row(["other/unknown".to_string(), unknown.to_string(), pct(unknown, measured)]);
+    }
+    table.row([
+        "≥2 distinct patterns".to_string(),
+        multi.to_string(),
+        pct(multi, measured),
+    ]);
+    Exhibit {
+        id: "table7",
+        title: "Table 7: Behaviours in SPF macro expansion by IP address",
+        paper_claim: "~1/6 of measured IPs show the vulnerable pattern; ~6% expand \
+                      erroneously in other ways (no expansion, missing truncation, \
+                      missing reversal, ...); 2,615 IPs (6%) sent ≥2 distinct \
+                      expansion patterns",
+        rendered: table.render(),
+        json: json!({
+            "measured": measured,
+            "behaviors": counts.iter().map(|(b, c)| (b.label().to_string(), *c))
+                .collect::<BTreeMap<String, usize>>(),
+            "unknown_pattern_hosts": unknown,
+            "multi_pattern": multi,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> &'static Context {
+        crate::testctx::shared()
+    }
+
+    #[test]
+    fn table1_diagonal_is_total() {
+        let ctx = ctx();
+        let e = table1(ctx);
+        let two_week_total = ctx.set_domains(SetFilter::TwoWeek).len();
+        assert_eq!(
+            e.json["2-Week MX|2-Week MX"].as_u64().expect("present") as usize,
+            two_week_total
+        );
+        // Scaled Table 1: the 2-week ∩ toplist overlap is ~12.7%.
+        let overlap = e.json["2-Week MX|Alexa Top List"].as_u64().expect("present") as f64;
+        let share = overlap / two_week_total as f64;
+        assert!((0.08..0.18).contains(&share), "overlap share {share}");
+    }
+
+    #[test]
+    fn table2_has_com_on_top_for_both_sets() {
+        let e = table2(ctx());
+        assert_eq!(e.json["alexa"][0][0], "com");
+        assert_eq!(e.json["two_week"][0][0], "com");
+    }
+
+    #[test]
+    fn table3_totals_are_consistent() {
+        let ctx = ctx();
+        let o = address_outcomes(ctx, SetFilter::AlexaTopList);
+        assert_eq!(o.total, o.refused + o.nomsg_total);
+        assert_eq!(
+            o.nomsg_total,
+            o.nomsg_failure + o.nomsg_measured + o.nomsg_not_measured
+        );
+        assert_eq!(o.blank_total, o.nomsg_not_measured, "BlankMsg follows NoMsg misses");
+        assert_eq!(
+            o.blank_total,
+            o.blank_failure + o.blank_measured + o.blank_not_measured
+        );
+        assert_eq!(o.total_measured, o.nomsg_measured + o.blank_measured);
+        // Shape: refusal rate near the calibrated 47%.
+        let refuse_rate = o.refused as f64 / o.total as f64;
+        assert!((0.35..0.60).contains(&refuse_rate), "refuse rate {refuse_rate}");
+    }
+
+    #[test]
+    fn table4_vulnerability_rates_have_the_paper_shape() {
+        let ctx = ctx();
+        let e = table4(ctx);
+        let alexa = &e.json["Alexa Top List"];
+        let two_week = &e.json["2-Week MX"];
+        let rate = |v: &Value| {
+            v["vulnerable"].as_f64().expect("number") / v["measured"].as_f64().expect("number")
+        };
+        let alexa_rate = rate(alexa);
+        let two_week_rate = rate(two_week);
+        assert!((0.10..0.28).contains(&alexa_rate), "alexa {alexa_rate}");
+        // The two-set ordering (Alexa ~1/6 vs 2-Week ~1/10) is only
+        // statistically meaningful with enough measured 2-Week hosts.
+        if two_week["measured"].as_u64().expect("n") >= 100 {
+            assert!(
+                alexa_rate > two_week_rate,
+                "Alexa addresses are more vulnerable than 2-Week MX \
+                 ({alexa_rate} vs {two_week_rate})"
+            );
+        }
+    }
+
+    #[test]
+    fn table5_orders_by_rate_and_tw_is_zero_when_present() {
+        let ctx = ctx();
+        let e = table5(ctx);
+        let rows = e.json.as_array().expect("array");
+        let rates: Vec<f64> = rows.iter().map(|r| r["rate"].as_f64().expect("rate")).collect();
+        for pair in rates.windows(2) {
+            assert!(pair[0] >= pair[1] - 1e-9, "sorted descending");
+        }
+        for row in rows {
+            if row["tld"] == "tw" {
+                assert_eq!(row["patched"], 0, "tw never patches (Table 5)");
+            }
+        }
+    }
+
+    #[test]
+    fn table6_matches_static_data() {
+        let e = table6();
+        assert!(e.rendered.contains("Debian"));
+        assert!(e.rendered.contains("Unpatched"));
+        assert!(e.rendered.contains("2022-01-20"));
+        assert_eq!(e.json.as_array().expect("array").len(), 9);
+    }
+
+    #[test]
+    fn table7_multi_pattern_share_is_small() {
+        let ctx = ctx();
+        let e = table7(ctx);
+        let measured = e.json["measured"].as_u64().expect("n") as f64;
+        let multi = e.json["multi_pattern"].as_u64().expect("n") as f64;
+        assert!(measured > 0.0);
+        let share = multi / measured;
+        assert!((0.0..0.15).contains(&share), "multi share {share}");
+    }
+}

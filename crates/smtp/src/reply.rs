@@ -1,0 +1,219 @@
+//! SMTP server replies.
+
+use std::fmt;
+
+/// The broad class of a reply code (its first digit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyCategory {
+    /// 2xx — success.
+    Success,
+    /// 3xx — intermediate (354 after `DATA`).
+    Intermediate,
+    /// 4xx — transient failure (greylisting lives here).
+    TransientFailure,
+    /// 5xx — permanent failure.
+    PermanentFailure,
+    /// Anything else (never sent by a conforming server).
+    Unknown,
+}
+
+/// A server reply: a three-digit code plus one or more text lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// The reply code, e.g. 250.
+    pub code: u16,
+    /// Text lines; multi-line replies use `250-...` continuation on the wire.
+    pub lines: Vec<String>,
+}
+
+impl Reply {
+    /// A single-line reply.
+    pub fn new(code: u16, text: &str) -> Reply {
+        Reply {
+            code,
+            lines: vec![text.to_string()],
+        }
+    }
+
+    /// 220 service-ready banner.
+    pub fn banner(host: &str) -> Reply {
+        Reply::new(220, &format!("{host} ESMTP ready"))
+    }
+
+    /// 250 OK.
+    pub fn ok() -> Reply {
+        Reply::new(250, "OK")
+    }
+
+    /// 250 greeting response to EHLO, advertising no extensions.
+    pub fn ehlo_ok(host: &str) -> Reply {
+        Reply {
+            code: 250,
+            lines: vec![
+                format!("{host} greets you"),
+                format!("SIZE {}", crate::session::MAX_MESSAGE_SIZE),
+            ],
+        }
+    }
+
+    /// 354 start-mail-input.
+    pub fn start_mail_input() -> Reply {
+        Reply::new(354, "Start mail input; end with <CRLF>.<CRLF>")
+    }
+
+    /// 221 closing.
+    pub fn closing() -> Reply {
+        Reply::new(221, "Bye")
+    }
+
+    /// 421 service not available (also used when blacklisting probers).
+    pub fn service_unavailable() -> Reply {
+        Reply::new(421, "Service not available, closing transmission channel")
+    }
+
+    /// 450 mailbox unavailable (greylisting).
+    pub fn greylisted() -> Reply {
+        Reply::new(450, "Greylisted, try again later")
+    }
+
+    /// 550 mailbox unavailable.
+    pub fn mailbox_unavailable() -> Reply {
+        Reply::new(550, "No such user here")
+    }
+
+    /// 550 rejected by SPF policy, in the style of real MTA rejections.
+    pub fn spf_rejected(domain: &str) -> Reply {
+        Reply::new(
+            550,
+            &format!("SPF check failed for {domain}: sender not authorized"),
+        )
+    }
+
+    /// 503 bad sequence of commands.
+    pub fn bad_sequence() -> Reply {
+        Reply::new(503, "Bad sequence of commands")
+    }
+
+    /// 500 syntax error.
+    pub fn syntax_error() -> Reply {
+        Reply::new(500, "Syntax error, command unrecognized")
+    }
+
+    /// The category of this reply.
+    pub fn category(&self) -> ReplyCategory {
+        match self.code / 100 {
+            2 => ReplyCategory::Success,
+            3 => ReplyCategory::Intermediate,
+            4 => ReplyCategory::TransientFailure,
+            5 => ReplyCategory::PermanentFailure,
+            _ => ReplyCategory::Unknown,
+        }
+    }
+
+    /// Whether the reply is a success (2xx).
+    pub fn is_positive(&self) -> bool {
+        self.category() == ReplyCategory::Success
+    }
+
+    /// Whether the reply is any failure (4xx/5xx).
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self.category(),
+            ReplyCategory::TransientFailure | ReplyCategory::PermanentFailure
+        )
+    }
+
+    /// Render the reply in wire form (with CRLFs and continuation dashes).
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            let sep = if i + 1 == self.lines.len() { ' ' } else { '-' };
+            out.push_str(&format!("{}{}{}\r\n", self.code, sep, line));
+        }
+        out
+    }
+
+    /// Parse a wire-form reply (one or more lines).
+    pub fn parse(wire: &str) -> Option<Reply> {
+        let mut code = None;
+        let mut lines = Vec::new();
+        for raw in wire.split("\r\n").filter(|l| !l.is_empty()) {
+            if raw.len() < 4 {
+                return None;
+            }
+            let this_code: u16 = raw[..3].parse().ok()?;
+            if *code.get_or_insert(this_code) != this_code {
+                return None;
+            }
+            lines.push(raw[4..].to_string());
+        }
+        Some(Reply {
+            code: code?,
+            lines,
+        })
+    }
+
+    /// Approximate wire size, for link accounting.
+    pub fn wire_size(&self) -> usize {
+        self.to_wire().len()
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code, self.lines.first().map_or("", |s| s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        assert_eq!(Reply::ok().category(), ReplyCategory::Success);
+        assert_eq!(
+            Reply::start_mail_input().category(),
+            ReplyCategory::Intermediate
+        );
+        assert_eq!(
+            Reply::greylisted().category(),
+            ReplyCategory::TransientFailure
+        );
+        assert_eq!(
+            Reply::mailbox_unavailable().category(),
+            ReplyCategory::PermanentFailure
+        );
+        assert!(Reply::ok().is_positive());
+        assert!(Reply::greylisted().is_failure());
+        assert!(!Reply::start_mail_input().is_failure());
+    }
+
+    #[test]
+    fn single_line_wire_round_trip() {
+        let r = Reply::new(250, "OK");
+        assert_eq!(r.to_wire(), "250 OK\r\n");
+        assert_eq!(Reply::parse(&r.to_wire()), Some(r));
+    }
+
+    #[test]
+    fn multi_line_wire_round_trip() {
+        let r = Reply::ehlo_ok("mx.example.com");
+        let wire = r.to_wire();
+        assert!(wire.starts_with("250-mx.example.com greets you\r\n"));
+        assert!(wire.ends_with("250 SIZE 10485760\r\n"));
+        assert_eq!(Reply::parse(&wire), Some(r));
+    }
+
+    #[test]
+    fn mismatched_codes_rejected() {
+        assert_eq!(Reply::parse("250-a\r\n550 b\r\n"), None);
+        assert_eq!(Reply::parse("xx\r\n"), None);
+        assert_eq!(Reply::parse(""), None);
+    }
+
+    #[test]
+    fn display_shows_code_and_first_line() {
+        assert_eq!(Reply::banner("mx.test").to_string(), "220 mx.test ESMTP ready");
+    }
+}

@@ -1,0 +1,345 @@
+//! Macro expansion: the RFC-compliant reference implementation.
+//!
+//! The [`MacroExpander`] trait is the seam the whole reproduction pivots
+//! on. The evaluator asks its expander to turn a macro-string plus a
+//! [`MacroContext`] into a domain name; a compliant expander produces
+//! `example.foo.com` where the vulnerable libSPF2 one produces
+//! `com.com.example.foo.com` — and that difference, observed at the
+//! authoritative DNS server, is the paper's detection fingerprint.
+
+use std::fmt;
+use std::net::IpAddr;
+
+use crate::macrostring::{MacroLetter, MacroString, MacroToken, MacroTransform};
+
+/// Everything a macro expansion can draw on (RFC 7208 §7.2).
+#[derive(Debug, Clone)]
+pub struct MacroContext {
+    /// The sender's local part (`l`).
+    pub sender_local: String,
+    /// The sender's domain (`o`).
+    pub sender_domain: String,
+    /// The current evaluation domain (`d`); changes across `include`/`redirect`.
+    pub domain: String,
+    /// The SMTP client's IP address (`i`, `c`, `v`).
+    pub client_ip: IpAddr,
+    /// The HELO/EHLO identity (`h`).
+    pub helo: String,
+    /// The receiving host (`r`, exp-only).
+    pub receiver: String,
+    /// Unix timestamp (`t`, exp-only).
+    pub timestamp: u64,
+}
+
+impl MacroContext {
+    /// A context for sender `local@domain` from `client_ip`.
+    pub fn new(local: &str, domain: &str, client_ip: IpAddr) -> MacroContext {
+        MacroContext {
+            sender_local: local.to_string(),
+            sender_domain: domain.to_string(),
+            domain: domain.to_string(),
+            client_ip,
+            helo: domain.to_string(),
+            receiver: "receiver.invalid".to_string(),
+            timestamp: 0,
+        }
+    }
+
+    /// The full sender address (`s`).
+    pub fn sender(&self) -> String {
+        format!("{}@{}", self.sender_local, self.sender_domain)
+    }
+
+    /// The raw (pre-transform) value of a macro letter.
+    pub fn raw_value(&self, letter: MacroLetter) -> String {
+        match letter {
+            MacroLetter::Sender => self.sender(),
+            MacroLetter::Local => self.sender_local.clone(),
+            MacroLetter::SenderDomain => self.sender_domain.clone(),
+            MacroLetter::Domain => self.domain.clone(),
+            MacroLetter::Ip => match self.client_ip {
+                IpAddr::V4(v4) => v4.to_string(),
+                IpAddr::V6(v6) => {
+                    // Dotted nibble form, as used under ip6.arpa.
+                    let octets = v6.octets();
+                    let mut nibbles = Vec::with_capacity(32);
+                    for byte in octets {
+                        nibbles.push(format!("{:x}", byte >> 4));
+                        nibbles.push(format!("{:x}", byte & 0x0f));
+                    }
+                    nibbles.join(".")
+                }
+            },
+            MacroLetter::Validated => "unknown".to_string(),
+            MacroLetter::IpVersion => match self.client_ip {
+                IpAddr::V4(_) => "in-addr".to_string(),
+                IpAddr::V6(_) => "ip6".to_string(),
+            },
+            MacroLetter::Helo => self.helo.clone(),
+            MacroLetter::ClientIp => self.client_ip.to_string(),
+            MacroLetter::Receiver => self.receiver.clone(),
+            MacroLetter::Timestamp => self.timestamp.to_string(),
+        }
+    }
+}
+
+/// Errors during expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExpandError {
+    /// An exp-only macro letter appeared outside `exp=` text.
+    ExpOnlyLetter(char),
+    /// The implementation crashed while expanding (vulnerable
+    /// implementations corrupting their heap report this).
+    ImplementationFault(String),
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::ExpOnlyLetter(c) => {
+                write!(f, "macro letter {c} only allowed in exp text")
+            }
+            ExpandError::ImplementationFault(s) => write!(f, "implementation fault: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+/// The pluggable expansion strategy.
+pub trait MacroExpander {
+    /// Expand `ms` in `ctx`. `in_exp` marks explanation-string context,
+    /// where the `c`/`r`/`t` letters become legal.
+    fn expand(
+        &mut self,
+        ms: &MacroString,
+        ctx: &MacroContext,
+        in_exp: bool,
+    ) -> Result<String, ExpandError>;
+
+    /// A short identifier for logs and classification tables.
+    fn describe(&self) -> &'static str;
+}
+
+impl<T: MacroExpander + ?Sized> MacroExpander for Box<T> {
+    fn expand(
+        &mut self,
+        ms: &MacroString,
+        ctx: &MacroContext,
+        in_exp: bool,
+    ) -> Result<String, ExpandError> {
+        (**self).expand(ms, ctx, in_exp)
+    }
+
+    fn describe(&self) -> &'static str {
+        (**self).describe()
+    }
+}
+
+/// Apply split / reverse / truncate / re-join (RFC 7208 §7.3).
+pub fn apply_transform(value: &str, transform: &MacroTransform) -> String {
+    let delims = transform.delimiters_or_default();
+    let mut parts: Vec<&str> = value.split(|c| delims.contains(&c)).collect();
+    if transform.reverse {
+        parts.reverse();
+    }
+    if let Some(n) = transform.digits {
+        let n = n.max(1) as usize;
+        if parts.len() > n {
+            parts = parts.split_off(parts.len() - n);
+        }
+    }
+    parts.join(".")
+}
+
+/// Percent-encode everything outside RFC 3986 unreserved characters.
+pub fn url_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for &b in value.as_bytes() {
+        if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~') {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// The RFC 7208-compliant expander.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CompliantExpander;
+
+impl MacroExpander for CompliantExpander {
+    fn expand(
+        &mut self,
+        ms: &MacroString,
+        ctx: &MacroContext,
+        in_exp: bool,
+    ) -> Result<String, ExpandError> {
+        let mut out = String::new();
+        for token in ms.tokens() {
+            match token {
+                MacroToken::Literal(text) => out.push_str(text),
+                MacroToken::Percent => out.push('%'),
+                MacroToken::Space => out.push(' '),
+                MacroToken::UrlSpace => out.push_str("%20"),
+                MacroToken::Macro {
+                    letter,
+                    url_escape: escape,
+                    transform,
+                } => {
+                    if letter.exp_only() && !in_exp {
+                        return Err(ExpandError::ExpOnlyLetter(letter.as_char()));
+                    }
+                    let raw = ctx.raw_value(*letter);
+                    let transformed = apply_transform(&raw, transform);
+                    if *escape {
+                        out.push_str(&url_escape(&transformed));
+                    } else {
+                        out.push_str(&transformed);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn describe(&self) -> &'static str {
+        "rfc7208"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> MacroContext {
+        MacroContext::new("user", "example.com", "192.0.2.3".parse().unwrap())
+    }
+
+    fn expand(s: &str) -> String {
+        CompliantExpander
+            .expand(&MacroString::parse(s).unwrap(), &ctx(), false)
+            .unwrap()
+    }
+
+    /// The exact examples from paper §2.2.
+    #[test]
+    fn paper_examples() {
+        assert_eq!(expand("%{l}"), "user");
+        assert_eq!(expand("%{d}"), "example.com");
+        assert_eq!(expand("%{d2}"), "example.com");
+        assert_eq!(expand("%{d1}"), "com");
+        assert_eq!(expand("%{dr}"), "com.example");
+        assert_eq!(expand("%{d1r}"), "example");
+    }
+
+    /// The detection mechanism from paper §4.2: RFC-compliant behaviour.
+    #[test]
+    fn paper_detection_compliant_case() {
+        assert_eq!(expand("%{d1r}.foo.com"), "example.foo.com");
+    }
+
+    #[test]
+    fn sender_macros() {
+        assert_eq!(expand("%{s}"), "user@example.com");
+        assert_eq!(expand("%{o}"), "example.com");
+        assert_eq!(expand("%{h}"), "example.com");
+    }
+
+    #[test]
+    fn ip_macros() {
+        assert_eq!(expand("%{i}"), "192.0.2.3");
+        assert_eq!(expand("%{ir}"), "3.2.0.192");
+        assert_eq!(expand("%{v}"), "in-addr");
+        assert_eq!(
+            expand("%{ir}.%{v}.arpa"),
+            "3.2.0.192.in-addr.arpa",
+            "classic reverse-zone construction"
+        );
+    }
+
+    #[test]
+    fn ipv6_nibbles() {
+        let ctx6 = MacroContext::new("u", "example.com", "2001:db8::1".parse().unwrap());
+        let out = CompliantExpander
+            .expand(&MacroString::parse("%{i}").unwrap(), &ctx6, false)
+            .unwrap();
+        assert!(out.starts_with("2.0.0.1.0.d.b.8"));
+        assert_eq!(out.split('.').count(), 32);
+        let v = CompliantExpander
+            .expand(&MacroString::parse("%{v}").unwrap(), &ctx6, false)
+            .unwrap();
+        assert_eq!(v, "ip6");
+    }
+
+    #[test]
+    fn url_escaping_uppercase_letter() {
+        let ctx = MacroContext::new("strange/user", "example.com", "192.0.2.3".parse().unwrap());
+        let out = CompliantExpander
+            .expand(&MacroString::parse("%{L}").unwrap(), &ctx, false)
+            .unwrap();
+        assert_eq!(out, "strange%2Fuser");
+    }
+
+    #[test]
+    fn url_escape_handles_high_bytes() {
+        // The correct rendering of a byte ≥ 0x80 — exactly what the buggy
+        // sprintf in libSPF2 gets wrong (it emits %FFFFFFxx instead).
+        assert_eq!(url_escape("caf\u{e9}"), "caf%C3%A9"); // UTF-8 of é
+        assert_eq!(url_escape("a b"), "a%20b");
+        assert_eq!(url_escape("safe-._~"), "safe-._~");
+    }
+
+    #[test]
+    fn custom_delimiters_split_local_parts() {
+        let ctx = MacroContext::new("a-b+c", "example.com", "192.0.2.3".parse().unwrap());
+        let out = CompliantExpander
+            .expand(&MacroString::parse("%{l-+}").unwrap(), &ctx, false)
+            .unwrap();
+        assert_eq!(out, "a.b.c", "split on - and +, rejoined with dots");
+    }
+
+    #[test]
+    fn exp_only_letters_rejected_outside_exp() {
+        let err = CompliantExpander
+            .expand(&MacroString::parse("%{t}").unwrap(), &ctx(), false)
+            .unwrap_err();
+        assert_eq!(err, ExpandError::ExpOnlyLetter('t'));
+        // ... but allowed inside exp.
+        let ok = CompliantExpander
+            .expand(&MacroString::parse("%{r}").unwrap(), &ctx(), true)
+            .unwrap();
+        assert_eq!(ok, "receiver.invalid");
+    }
+
+    #[test]
+    fn escapes_expand() {
+        assert_eq!(expand("a%%b"), "a%b");
+        assert_eq!(expand("a%_b"), "a b");
+        assert_eq!(expand("a%-b"), "a%20b");
+    }
+
+    #[test]
+    fn transform_digits_larger_than_label_count() {
+        assert_eq!(expand("%{d9}"), "example.com");
+        assert_eq!(expand("%{d9r}"), "com.example");
+    }
+
+    #[test]
+    fn apply_transform_unit() {
+        let t = MacroTransform {
+            digits: Some(2),
+            reverse: true,
+            delimiters: vec![],
+        };
+        assert_eq!(apply_transform("a.b.c.d", &t), "b.a");
+        let t0 = MacroTransform {
+            digits: Some(0),
+            reverse: false,
+            delimiters: vec![],
+        };
+        // digits=0 is nonsense; treat as 1 (defensive).
+        assert_eq!(apply_transform("a.b", &t0), "b");
+    }
+}

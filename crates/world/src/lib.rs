@@ -1,0 +1,47 @@
+//! The simulated Internet the measurement runs against.
+//!
+//! The paper measured two real domain populations — the Alexa Top List
+//! (418,842 domains, October 2021) and "2-Week MX" (22,911 email domains
+//! observed at a university) — whose mail servers it probed over four
+//! months. Neither population nor the 2021 Internet is available to a
+//! reproduction, so this crate generates a *calibrated synthetic world*:
+//!
+//! * [`config`] — every calibration constant, with defaults matching the
+//!   paper's observed rates (set sizes, Table 1 overlap, Table 2 TLD mix,
+//!   Table 3 outcome rates, Table 4 vulnerability rates, Table 5 per-TLD
+//!   patch propensities, §7.5's vulnerable top providers, §7.6 timing).
+//! * [`timeline`] — the measurement calendar, mapping simulated days to
+//!   the paper's real dates (day 0 = 2021-10-11).
+//! * [`tld`] — TLD frequency tables and patch-propensity multipliers.
+//! * [`geo`] — a synthetic geolocation model standing in for DbIP.
+//! * [`pkgmgr`] — Table 6's package-manager patch timelines and the
+//!   patch-wave model derived from them.
+//! * [`domains`], [`hosting`] — the population generator: domains with
+//!   ranks and TLDs, hosting fan-out onto server IPs, per-host behaviour
+//!   profiles, and pre-sampled patch days.
+//! * [`world`] — [`world::World`]: the assembled population plus the DNS
+//!   directory and measurement zone, ready for the prober.
+//!
+//! A single `scale` knob shrinks the population for tests and benchmarks
+//! while preserving every rate, so percentages in regenerated tables stay
+//! comparable to the paper at any size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod domains;
+pub mod geo;
+pub mod hosting;
+pub mod pkgmgr;
+pub mod timeline;
+pub mod tld;
+pub mod world;
+
+pub use config::WorldConfig;
+pub use domains::{DomainId, DomainRecord, SetMembership};
+pub use geo::GeoPoint;
+pub use hosting::{HostId, HostProfile, HostRecord, PatchCause};
+pub use pkgmgr::{PackageManager, PkgTimelineRow, PACKAGE_TIMELINE};
+pub use timeline::Timeline;
+pub use world::World;

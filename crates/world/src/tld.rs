@@ -1,0 +1,131 @@
+//! TLD frequency tables (paper Table 2) and patch propensities (Table 5).
+
+/// Relative TLD weights for the Alexa Top List population (Table 2, left).
+/// Counts are the paper's; unlisted TLDs share the `MISC` remainder.
+pub const ALEXA_TLD_WEIGHTS: [(&str, u32); 15] = [
+    ("com", 230_801),
+    ("ru", 19_844),
+    ("ir", 17_207),
+    ("net", 16_672),
+    ("org", 14_427),
+    ("in", 7_856),
+    ("io", 5_122),
+    ("au", 4_685),
+    ("vn", 4_326),
+    ("co", 4_250),
+    ("ua", 4_139),
+    ("tr", 4_117),
+    ("uk", 3_429),
+    ("id", 2_997),
+    ("ca", 2_835),
+];
+
+/// Relative TLD weights for the 2-Week MX population (Table 2, right).
+pub const TWO_WEEK_TLD_WEIGHTS: [(&str, u32); 15] = [
+    ("com", 11_182),
+    ("org", 3_946),
+    ("edu", 2_108),
+    ("net", 1_441),
+    ("us", 828),
+    ("gov", 255),
+    ("uk", 241),
+    ("cam", 232),
+    ("ca", 172),
+    ("de", 149),
+    ("work", 142),
+    ("cn", 99),
+    ("au", 92),
+    ("it", 90),
+    ("top", 86),
+];
+
+/// The long tail of TLDs not individually listed in Table 2 but needed for
+/// the geographic and patch-rate analyses (Table 5, Figure 3). Weights are
+/// plausible tail frequencies.
+pub const MISC_TLDS: [(&str, u32); 17] = [
+    ("de", 2_600),
+    ("pl", 2_000),
+    ("cz", 1_300),
+    ("kr", 1_200),
+    ("jp", 1_500),
+    ("fr", 1_800),
+    ("br", 1_900),
+    ("mx", 900),
+    ("za", 700),
+    ("gr", 450),
+    ("eu", 800),
+    ("il", 650),
+    ("by", 400),
+    ("tw", 550),
+    ("nl", 1_400),
+    ("se", 700),
+    ("it", 1_600),
+];
+
+/// Per-TLD fraction of initially vulnerable hosts expected to patch by the
+/// end of measurements (paper Table 5, plus the `com` benchmark of §7.3).
+/// TLDs not listed use [`DEFAULT_PATCH_RATE`].
+pub const TLD_PATCH_RATES: [(&str, f64); 11] = [
+    ("za", 0.79),
+    ("gr", 0.75),
+    ("de", 0.46),
+    ("eu", 0.29),
+    ("tr", 0.28),
+    ("com", 0.15),
+    ("ir", 0.03),
+    ("il", 0.03),
+    ("by", 0.02),
+    ("ru", 0.02),
+    ("tw", 0.00),
+];
+
+/// Patch rate for TLDs without a Table 5 entry.
+pub const DEFAULT_PATCH_RATE: f64 = 0.15;
+
+/// Fraction of a TLD's patch events that land in the first measurement
+/// window (before public disclosure). §7.3: 98% of `za`'s patches happened
+/// in October/November; elsewhere window-1 patching was the minority.
+pub fn window1_share(tld: &str) -> f64 {
+    match tld {
+        "za" => 0.98,
+        "gr" => 0.60,
+        _ => 0.25,
+    }
+}
+
+/// The patch rate for a TLD.
+pub fn patch_rate(tld: &str) -> f64 {
+    TLD_PATCH_RATES
+        .iter()
+        .find(|(t, _)| *t == tld)
+        .map(|(_, r)| *r)
+        .unwrap_or(DEFAULT_PATCH_RATE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn com_dominates_both_sets() {
+        assert_eq!(ALEXA_TLD_WEIGHTS[0].0, "com");
+        assert_eq!(TWO_WEEK_TLD_WEIGHTS[0].0, "com");
+        let alexa_total: u32 = ALEXA_TLD_WEIGHTS.iter().map(|(_, w)| w).sum();
+        assert!(f64::from(ALEXA_TLD_WEIGHTS[0].1) / f64::from(alexa_total) > 0.5);
+    }
+
+    #[test]
+    fn patch_rates_match_table5() {
+        assert_eq!(patch_rate("za"), 0.79);
+        assert_eq!(patch_rate("tw"), 0.00);
+        assert_eq!(patch_rate("ru"), 0.02);
+        assert_eq!(patch_rate("com"), 0.15);
+        assert_eq!(patch_rate("xyz"), DEFAULT_PATCH_RATE);
+    }
+
+    #[test]
+    fn za_patches_overwhelmingly_in_window_one() {
+        assert!(window1_share("za") > 0.9);
+        assert!(window1_share("com") < 0.5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Counterfactual analysis — what the paper could not do with the real
+//! Internet, the simulator does trivially: re-run the identical
+//! four-month campaign under alternative assumptions and compare the
+//! final vulnerable share.
+//!
+//! ```text
+//! cargo run -p spfail --release --example counterfactuals
+//! ```
+
+use spfail::prober::{Campaign, SnapshotStatus};
+use spfail::world::{World, WorldConfig};
+
+struct Scenario {
+    name: &'static str,
+    commentary: &'static str,
+    config: WorldConfig,
+}
+
+fn base_config() -> WorldConfig {
+    WorldConfig {
+        // Big enough that a handful of heavily shared hosts cannot swing
+        // the comparison; each scenario runs in a few seconds in release.
+        scale: 0.08,
+        ..WorldConfig::default()
+    }
+}
+
+fn main() {
+    let scenarios = [
+        Scenario {
+            name: "baseline",
+            commentary: "the world as measured by the paper",
+            config: base_config(),
+        },
+        Scenario {
+            name: "no distro auto-updates",
+            commentary: "every patch requires manual admin action \
+                         (auto_update_share = 0)",
+            config: WorldConfig {
+                auto_update_share: 0.0,
+                ..base_config()
+            },
+        },
+        Scenario {
+            name: "universal auto-updates",
+            commentary: "every patching host rides its distro's wave \
+                         (auto_update_share = 1)",
+            config: WorldConfig {
+                auto_update_share: 1.0,
+                ..base_config()
+            },
+        },
+        Scenario {
+            name: "no prober blacklisting",
+            commentary: "perfect long-term observability \
+                         (blacklist_rate = 0)",
+            config: WorldConfig {
+                blacklist_rate: 0.0,
+                ..base_config()
+            },
+        },
+        Scenario {
+            name: "top-1000 patch like everyone",
+            commentary: "the most-visited domains lose their inertia \
+                         (top1000_patch_multiplier = 1)",
+            config: WorldConfig {
+                top1000_patch_multiplier: 1.0,
+                ..base_config()
+            },
+        },
+    ];
+
+    println!(
+        "{:<32} {:>7} {:>9} {:>9} {:>9} {:>8}",
+        "scenario", "hosts", "by-w1end", "by-discl", "by-end", "unknown"
+    );
+    println!("{}", "-".repeat(80));
+    for scenario in scenarios {
+        let world = World::generate(scenario.config);
+        let data = Campaign::run(&world);
+        let patched_by = |day: u16| {
+            data.tracked
+                .iter()
+                .filter(|&&h| data.first_patched_day(h).is_some_and(|d| d <= day))
+                .count()
+        };
+        let unknown = data
+            .snapshot
+            .values()
+            .filter(|s| **s == SnapshotStatus::Unknown)
+            .count();
+        println!(
+            "{:<32} {:>7} {:>9} {:>9} {:>9} {:>8}",
+            scenario.name,
+            data.tracked.len(),
+            patched_by(spfail::world::Timeline::WINDOW1_END),
+            patched_by(spfail::world::Timeline::PUBLIC_DISCLOSURE),
+            patched_by(spfail::world::Timeline::END),
+            unknown,
+        );
+        println!("    {}", scenario.commentary);
+    }
+
+    println!();
+    println!(
+        "reading: with common random numbers every scenario probes the *same*\n\
+         hosts; the columns show when their patches become observable. Killing\n\
+         auto-updates thins the pre-disclosure waves (Gentoo/Arch ride-alongs)\n\
+         and smears Debian's post-disclosure cliff into a manual trickle;\n\
+         disabling blacklisting is the big observability lever — far more\n\
+         patches become *measurable* before the study ends (the by-end\n\
+         column), exactly the §7.6 blind spot. The unknown bucket is churned\n\
+         spam domains, which no probing policy can recover."
+    );
+}

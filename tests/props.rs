@@ -1,0 +1,353 @@
+//! Property-based tests on the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use spfail::dns::{wire, Message, Name, RData, Record, RecordType};
+use spfail::libspf2::{LibSpf2Expander, MemSim};
+use spfail::netsim::{EventQueue, SimRng, SimTime};
+use spfail::smtp::command::Command;
+use spfail::smtp::reply::Reply;
+use spfail::spf::expand::{
+    apply_transform, url_escape, CompliantExpander, MacroContext, MacroExpander,
+};
+use spfail::spf::macrostring::{MacroString, MacroTransform};
+use spfail::spf::record::SpfRecord;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-z0-9][a-z0-9-]{0,14}".prop_map(|s| s)
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    prop::collection::vec(arb_label(), 0..6)
+        .prop_filter_map("name too long", |labels| Name::from_labels(labels).ok())
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
+        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        "[ -~]{0,300}".prop_map(|s| RData::txt(&s)),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata())
+        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+}
+
+// ---------------------------------------------------------------------------
+// DNS wire format
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// encode → decode is the identity for any well-formed message.
+    #[test]
+    fn wire_round_trip(
+        id in any::<u16>(),
+        qname in arb_name(),
+        answers in prop::collection::vec(arb_record(), 0..6),
+    ) {
+        let mut message = Message::query(id, qname, RecordType::TXT);
+        message.answers = answers;
+        let encoded = wire::encode(&message);
+        let decoded = wire::decode(&encoded).expect("well-formed messages decode");
+        prop_assert_eq!(&decoded, &message);
+        // Compression must never change the decoded meaning.
+        let plain = wire::encode_uncompressed(&message);
+        prop_assert_eq!(wire::decode(&plain).expect("decodes"), message);
+        prop_assert!(encoded.len() <= plain.len());
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn wire_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let _ = wire::decode(&bytes);
+    }
+
+    /// Name parsing accepts what it produces.
+    #[test]
+    fn name_display_parse_round_trip(name in arb_name()) {
+        let text = name.to_ascii();
+        let reparsed = Name::parse(&text).expect("display form parses");
+        prop_assert_eq!(reparsed, name);
+    }
+
+    /// Subdomain relations are consistent with concatenation.
+    #[test]
+    fn concat_makes_subdomains(prefix in arb_label(), base in arb_name()) {
+        if let Ok(child) = base.child(&prefix) {
+            prop_assert!(child.is_subdomain_of(&base));
+            prop_assert_eq!(child.parent(), base.clone());
+            prop_assert_eq!(
+                child.strip_suffix(&base).expect("is a subdomain"),
+                vec![prefix]
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SPF macros and records
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// The macro parser never panics, on anything.
+    #[test]
+    fn macro_parse_never_panics(input in "[ -~]{0,60}") {
+        let _ = MacroString::parse(&input);
+    }
+
+    /// The record parser never panics, on anything.
+    #[test]
+    fn record_parse_never_panics(input in "[ -~]{0,120}") {
+        let _ = SpfRecord::parse(&input);
+    }
+
+    /// Pure literal macro-strings expand to themselves.
+    #[test]
+    fn literal_expansion_is_identity(input in "[a-z0-9.-]{1,40}") {
+        let ms = MacroString::parse(&input).expect("literals parse");
+        let ctx = MacroContext::new("u", "example.com", "192.0.2.1".parse().expect("ip"));
+        let out = CompliantExpander.expand(&ms, &ctx, false).expect("expands");
+        prop_assert_eq!(out, input);
+    }
+
+    /// Reversing twice with full retention restores the label multiset
+    /// order.
+    #[test]
+    fn double_reverse_is_identity(labels in prop::collection::vec(arb_label(), 1..6)) {
+        let value = labels.join(".");
+        let reverse = MacroTransform { digits: None, reverse: true, delimiters: vec![] };
+        let once = apply_transform(&value, &reverse);
+        let twice = apply_transform(&once, &reverse);
+        prop_assert_eq!(twice, value);
+    }
+
+    /// Truncation keeps exactly min(n, len) labels — the *rightmost* ones.
+    #[test]
+    fn truncation_keeps_rightmost(
+        labels in prop::collection::vec(arb_label(), 1..8),
+        n in 1u32..10,
+    ) {
+        let value = labels.join(".");
+        let transform = MacroTransform { digits: Some(n), reverse: false, delimiters: vec![] };
+        let out = apply_transform(&value, &transform);
+        let kept: Vec<&str> = out.split('.').collect();
+        let expected = labels.len().min(n as usize);
+        prop_assert_eq!(kept.len(), expected);
+        let last_label = labels.last().map(String::as_str);
+        prop_assert_eq!(kept.last().copied(), last_label);
+    }
+
+    /// url_escape output contains only unreserved characters and percent
+    /// escapes, and is decodable back to the input.
+    #[test]
+    fn url_escape_is_reversible(input in "[ -~]{0,40}") {
+        let escaped = url_escape(&input);
+        // Alphabet check.
+        let mut chars = escaped.chars().peekable();
+        let mut decoded = Vec::new();
+        while let Some(c) = chars.next() {
+            if c == '%' {
+                let hi = chars.next().expect("two hex digits follow %");
+                let lo = chars.next().expect("two hex digits follow %");
+                decoded.push(
+                    u8::from_str_radix(&format!("{hi}{lo}"), 16).expect("valid hex"),
+                );
+            } else {
+                prop_assert!(c.is_ascii_alphanumeric() || "-._~".contains(c));
+                decoded.push(c as u8);
+            }
+        }
+        prop_assert_eq!(String::from_utf8(decoded).expect("ascii"), input);
+    }
+
+    /// The vulnerable expander is benign (no heap corruption) whenever no
+    /// URL escaping is requested — the property the whole measurement
+    /// methodology rests on.
+    #[test]
+    fn vulnerable_expander_is_benign_without_url_escape(
+        local in "[a-z0-9]{1,12}",
+        domain_labels in prop::collection::vec(arb_label(), 1..6),
+        digits in prop::option::of(1u32..5),
+        reverse in any::<bool>(),
+    ) {
+        let domain = domain_labels.join(".");
+        let macro_text = match (digits, reverse) {
+            (Some(n), true) => format!("%{{d{n}r}}"),
+            (Some(n), false) => format!("%{{d{n}}}"),
+            (None, true) => "%{dr}".to_string(),
+            (None, false) => "%{d}".to_string(),
+        };
+        let ms = MacroString::parse(&macro_text).expect("valid macro");
+        let ctx = MacroContext::new(&local, &domain, "192.0.2.1".parse().expect("ip"));
+        let mut expander = LibSpf2Expander::vulnerable();
+        let _ = expander.expand(&ms, &ctx, false).expect("expansion succeeds");
+        prop_assert!(
+            !expander.heap().corrupted(),
+            "lowercase macros must never corrupt memory"
+        );
+    }
+
+    /// Heap overruns are always bounded by the configured cap.
+    #[test]
+    fn overruns_are_bounded(
+        domain_labels in prop::collection::vec(arb_label(), 2..8),
+    ) {
+        let domain = domain_labels.join(".");
+        let ms = MacroString::parse("%{D1R}").expect("valid macro");
+        let ctx = MacroContext::new("u", &domain, "192.0.2.1".parse().expect("ip"));
+        let mut expander = LibSpf2Expander::vulnerable();
+        let _ = expander.expand(&ms, &ctx, false).expect("expansion succeeds");
+        prop_assert!(expander.heap().max_overrun() <= 100);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zone files
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// render → parse is the identity on zones (modulo record order).
+    #[test]
+    fn zonefile_round_trip(
+        origin in arb_name().prop_filter("origin must be non-root", |n| !n.is_root()),
+        records in prop::collection::vec((arb_label(), arb_rdata()), 0..8),
+    ) {
+        use spfail::dns::{parse_zone, render_zone, ZoneBuilder};
+        let mut builder = ZoneBuilder::new(origin.clone());
+        let mut skipped = 0;
+        for (label, rdata) in records {
+            // TXT strings from arb_rdata may contain characters the text
+            // format cannot round-trip byte-exactly after tokenisation
+            // (backslashes, semicolons inside quotes are fine; control
+            // chars are not generated). Owner must fit under the origin.
+            match origin.child(&label) {
+                Ok(owner) => {
+                    builder = builder.record(spfail::dns::Record::new(owner, 300, rdata));
+                }
+                Err(_) => skipped += 1,
+            }
+        }
+        let zone = builder.build();
+        let rendered = render_zone(&zone);
+        let reparsed = parse_zone(&rendered).expect("rendered zones parse");
+        prop_assert_eq!(reparsed.origin(), zone.origin());
+        let canonical = |z: &spfail::dns::Zone| {
+            let mut rows: Vec<String> = z.records().map(|r| r.to_string()).collect();
+            rows.sort();
+            rows
+        };
+        prop_assert_eq!(canonical(&reparsed), canonical(&zone));
+        let _ = skipped;
+    }
+
+    /// The zone-file parser never panics on arbitrary printable text.
+    #[test]
+    fn zonefile_parse_never_panics(input in "[ -~\n]{0,300}") {
+        use spfail::dns::parse_zone;
+        let _ = parse_zone(&input);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SMTP
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Command render/parse round-trips for addresses the generator emits.
+    #[test]
+    fn command_round_trip(local in "[a-z0-9]{1,10}", domain_labels in prop::collection::vec(arb_label(), 1..4)) {
+        let address = spfail::smtp::address::EmailAddress::new(
+            &local,
+            &domain_labels.join("."),
+        ).expect("valid address");
+        for command in [
+            Command::MailFrom(address.clone()),
+            Command::RcptTo(address),
+            Command::Ehlo("probe.test".into()),
+        ] {
+            prop_assert_eq!(Command::parse(&command.to_line()), Some(command));
+        }
+    }
+
+    /// Reply wire round-trip for arbitrary codes and simple texts.
+    #[test]
+    fn reply_round_trip(code in 200u16..600, text in "[ -~&&[^\r\n]]{0,40}") {
+        let reply = Reply::new(code, &text);
+        prop_assert_eq!(Reply::parse(&reply.to_wire()), Some(reply));
+    }
+
+    /// The command parser never panics.
+    #[test]
+    fn command_parse_never_panics(line in "[ -~]{0,80}") {
+        let _ = Command::parse(&line);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulation substrate
+// ---------------------------------------------------------------------------
+
+proptest! {
+    /// Event queues pop in non-decreasing time order regardless of push
+    /// order.
+    #[test]
+    fn event_queue_orders(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut queue = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            queue.push(SimTime::from_micros(t), i);
+        }
+        let mut last = SimTime::EPOCH;
+        let mut count = 0;
+        while let Some((at, _)) = queue.pop() {
+            prop_assert!(at >= last);
+            last = at;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    /// Forked RNG streams are reproducible.
+    #[test]
+    fn rng_forks_reproducible(seed in any::<u64>(), label in "[a-z]{1,10}") {
+        use rand::RngCore;
+        let parent = SimRng::new(seed);
+        let mut a = parent.fork(&label);
+        let mut b = parent.fork(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    /// MemSim never lets an out-of-bounds write corrupt in-bounds data.
+    #[test]
+    fn memsim_containment(
+        size in 1usize..64,
+        writes in prop::collection::vec((0usize..128, any::<u8>()), 0..64),
+    ) {
+        let mut mem = MemSim::new();
+        let id = mem.alloc(size);
+        let mut shadow = vec![0u8; size];
+        for (offset, value) in writes {
+            mem.write(id, offset, value);
+            if offset < size {
+                shadow[offset] = value;
+            }
+        }
+        prop_assert_eq!(mem.read(id), shadow.as_slice());
+        let in_bounds_only = mem.overflow_events().iter().all(|e| e.offset >= size);
+        prop_assert!(in_bounds_only);
+    }
+}

@@ -1,0 +1,260 @@
+//! RFC 7208 conformance scenarios, modelled on the RFC's Appendix A
+//! example zone. These exercise the SPF engine exactly as a validating
+//! MTA would.
+
+use std::collections::HashMap;
+
+use spfail::dns::resolver::{LookupError, LookupOutcome};
+use spfail::dns::{Name, RData, Record, RecordType};
+use spfail::spf::eval::{Evaluator, SpfDns};
+use spfail::spf::expand::CompliantExpander;
+use spfail::spf::result::SpfResult;
+
+/// The RFC's example.com zone (Appendix A), plus helpers.
+#[derive(Default)]
+struct Zone {
+    records: HashMap<(Name, RecordType), Vec<Record>>,
+}
+
+impl Zone {
+    fn add(&mut self, name: &str, rdata: RData) {
+        let name = Name::parse(name).expect("valid name");
+        self.records
+            .entry((name.clone(), rdata.record_type()))
+            .or_default()
+            .push(Record::new(name, 3600, rdata));
+    }
+
+    fn rfc_appendix_a() -> Zone {
+        let mut z = Zone::default();
+        // Hosts.
+        z.add("example.com", RData::A("192.0.2.10".parse().expect("ip")));
+        z.add("example.com", RData::A("192.0.2.11".parse().expect("ip")));
+        z.add("amy.example.com", RData::A("192.0.2.65".parse().expect("ip")));
+        z.add("bob.example.com", RData::A("192.0.2.66".parse().expect("ip")));
+        z.add("mail-a.example.com", RData::A("192.0.2.129".parse().expect("ip")));
+        z.add("mail-b.example.com", RData::A("192.0.2.130".parse().expect("ip")));
+        z.add("mail-c.example.org", RData::A("192.0.2.140".parse().expect("ip")));
+        // MX records.
+        for (pref, exchange) in [(10, "mail-a.example.com"), (20, "mail-b.example.com")] {
+            z.add(
+                "example.com",
+                RData::Mx {
+                    preference: pref,
+                    exchange: Name::parse(exchange).expect("valid"),
+                },
+            );
+        }
+        z
+    }
+
+    fn with_policy(mut self, policy: &str) -> Zone {
+        self.add("example.com", RData::txt(policy));
+        self
+    }
+}
+
+impl SpfDns for Zone {
+    fn lookup(&mut self, name: &Name, rtype: RecordType) -> Result<LookupOutcome, LookupError> {
+        match self.records.get(&(name.to_lowercase(), rtype)) {
+            Some(records) => Ok(LookupOutcome::Records(records.clone())),
+            None => {
+                // NODATA when the name exists with other types.
+                let exists = self
+                    .records
+                    .keys()
+                    .any(|(n, _)| n == &name.to_lowercase());
+                if exists {
+                    Ok(LookupOutcome::NoRecords)
+                } else {
+                    Ok(LookupOutcome::NxDomain)
+                }
+            }
+        }
+    }
+}
+
+fn check(zone: &mut Zone, client: &str) -> SpfResult {
+    let mut expander = CompliantExpander;
+    let mut eval = Evaluator::new(zone, &mut expander);
+    eval.check_host(client.parse().expect("ip"), "strong-bad", "example.com")
+}
+
+// --- RFC 7208 Appendix A.1: simple examples --------------------------------
+
+#[test]
+fn a1_plus_all_passes_anyone() {
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 +all");
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::Pass);
+}
+
+#[test]
+fn a1_a_minus_all() {
+    // "v=spf1 a -all" — hosts 192.0.2.10/11 pass, others fail.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 a -all");
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.11"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.65"), SpfResult::Fail);
+}
+
+#[test]
+fn a1_a_colon_domain() {
+    // "v=spf1 a:example.org -all": example.org has no A records here.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 a:example.org -all");
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::Fail);
+}
+
+#[test]
+fn a1_mx_minus_all() {
+    // "v=spf1 mx -all" — the two MX hosts pass.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 mx -all");
+    assert_eq!(check(&mut zone, "192.0.2.129"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.130"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::Fail);
+}
+
+#[test]
+fn a1_mx_with_cidr() {
+    // "v=spf1 mx/30 mx:example.org/30 -all": 192.0.2.128/30 covers both
+    // MX hosts and their /30 neighbours.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 mx/30 -all");
+    assert_eq!(check(&mut zone, "192.0.2.131"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.132"), SpfResult::Fail);
+}
+
+#[test]
+fn a1_ip4_with_cidr() {
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 ip4:192.0.2.128/28 -all");
+    assert_eq!(check(&mut zone, "192.0.2.129"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.140"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.1"), SpfResult::Fail);
+}
+
+// --- Result semantics (§2.6, §8) -------------------------------------------
+
+#[test]
+fn neutral_qualifier() {
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 ?all");
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::Neutral);
+}
+
+#[test]
+fn softfail_qualifier() {
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 a ~all");
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::SoftFail);
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::Pass);
+}
+
+#[test]
+fn none_when_no_record() {
+    let mut zone = Zone::rfc_appendix_a();
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::None);
+}
+
+#[test]
+fn first_match_wins() {
+    // §4.6.2: mechanisms are evaluated left to right; the first match's
+    // qualifier decides.
+    let mut zone =
+        Zone::rfc_appendix_a().with_policy("v=spf1 -ip4:192.0.2.10 +a -all");
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::Fail);
+    assert_eq!(check(&mut zone, "192.0.2.11"), SpfResult::Pass);
+}
+
+// --- Evaluation limits (§4.6.4) ---------------------------------------------
+
+#[test]
+fn ten_lookup_terms_is_the_ceiling() {
+    // Exactly 10 DNS-querying terms is fine...
+    let terms: Vec<String> = (0..10).map(|_| "a".to_string()).collect();
+    let mut zone =
+        Zone::rfc_appendix_a().with_policy(&format!("v=spf1 {} +all", terms.join(" ")));
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::Pass);
+    // ... the eleventh is PermError.
+    let terms: Vec<String> = (0..11).map(|_| "a".to_string()).collect();
+    let mut zone =
+        Zone::rfc_appendix_a().with_policy(&format!("v=spf1 {} +all", terms.join(" ")));
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::PermError);
+}
+
+#[test]
+fn ip_mechanisms_do_not_count_against_the_limit() {
+    let terms: Vec<String> = (0..30).map(|i| format!("ip4:198.51.100.{i}")).collect();
+    let mut zone =
+        Zone::rfc_appendix_a().with_policy(&format!("v=spf1 {} -all", terms.join(" ")));
+    assert_eq!(check(&mut zone, "198.51.100.7"), SpfResult::Pass);
+}
+
+// --- Macros in policies (§7) -------------------------------------------------
+
+#[test]
+fn exists_with_ip_macro() {
+    let mut zone = Zone::rfc_appendix_a()
+        .with_policy("v=spf1 exists:%{ir}.sbl.example.com -all");
+    zone.add(
+        "65.2.0.192.sbl.example.com",
+        RData::A("127.0.0.2".parse().expect("ip")),
+    );
+    // 192.0.2.65 is listed; it "passes" (the RFC's DNSBL-style example,
+    // typically used with a - qualifier in practice).
+    assert_eq!(check(&mut zone, "192.0.2.65"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.66"), SpfResult::Fail);
+}
+
+#[test]
+fn include_with_macro_domain() {
+    let mut zone =
+        Zone::rfc_appendix_a().with_policy("v=spf1 include:_spf.%{d2} -all");
+    zone.add("_spf.example.com", RData::txt("v=spf1 ip4:203.0.113.0/24"));
+    assert_eq!(check(&mut zone, "203.0.113.99"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "198.51.100.1"), SpfResult::Fail);
+}
+
+// --- Multiple / malformed records (§3.2, §4.5) --------------------------------
+
+#[test]
+fn unrelated_txt_records_are_transparent() {
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 a -all");
+    zone.add("example.com", RData::txt("v=verify123 site-ownership"));
+    zone.add("example.com", RData::txt("some random text"));
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::Pass);
+}
+
+#[test]
+fn duplicate_spf_records_are_permerror() {
+    let mut zone = Zone::rfc_appendix_a()
+        .with_policy("v=spf1 a -all")
+        .with_policy("v=spf1 mx -all");
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::PermError);
+}
+
+#[test]
+fn case_insensitive_version_and_mechanisms() {
+    let mut zone = Zone::rfc_appendix_a().with_policy("V=SpF1 A -ALL");
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::Fail);
+}
+
+// --- redirect (§6.1) -----------------------------------------------------------
+
+#[test]
+fn redirect_chains_and_inherits_sender_domain() {
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 redirect=_spf.example.com");
+    // %{d} inside the redirected record refers to the *redirect target*
+    // domain (the current domain), while %{o} stays the sender's.
+    zone.add(
+        "_spf.example.com",
+        RData::txt("v=spf1 a:%{o} -all"),
+    );
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::Fail);
+}
+
+#[test]
+fn mechanisms_before_redirect_win() {
+    let mut zone = Zone::rfc_appendix_a()
+        .with_policy("v=spf1 ip4:198.51.100.0/24 redirect=_spf.example.com");
+    zone.add("_spf.example.com", RData::txt("v=spf1 -all"));
+    assert_eq!(check(&mut zone, "198.51.100.1"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::Fail);
+}
