@@ -32,7 +32,7 @@ pub mod time;
 pub use event::EventQueue;
 pub use fault::{FaultOutcome, FaultPlan};
 pub use latency::LatencyModel;
-pub use metrics::Metrics;
+pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use net::{Link, LinkObservation};
 pub use rng::SimRng;
 pub use time::{SimClock, SimDuration, SimTime};

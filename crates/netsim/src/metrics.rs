@@ -89,6 +89,158 @@ impl Metrics {
     pub fn bytes_sent(&self) -> u64 {
         self.inner.bytes_sent.load(Ordering::Relaxed)
     }
+
+    /// A point-in-time copy of every counter, as a plain value that can
+    /// be merged with snapshots from other shards.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections_attempted: self.connections_attempted(),
+            connections_refused: self.connections_refused(),
+            connections_aborted: self.connections_aborted(),
+            datagrams_sent: self.datagrams_sent(),
+            datagrams_dropped: self.datagrams_dropped(),
+            bytes_sent: self.bytes_sent(),
+            dns_queries: self.dns_queries(),
+            dns_cache_hits: self.dns_cache_hits(),
+            dns_truncated: self.dns_truncated(),
+        }
+    }
+}
+
+/// A plain-value copy of [`Metrics`], produced per shard and merged into
+/// campaign totals. Merging is associative and commutative (every field
+/// is a sum), so the merge order of shard snapshots never matters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Connection attempts.
+    pub connections_attempted: u64,
+    /// Refused connections.
+    pub connections_refused: u64,
+    /// Aborted connections.
+    pub connections_aborted: u64,
+    /// Datagrams sent.
+    pub datagrams_sent: u64,
+    /// Datagrams dropped.
+    pub datagrams_dropped: u64,
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// DNS queries issued.
+    pub dns_queries: u64,
+    /// DNS cache hits.
+    pub dns_cache_hits: u64,
+    /// Truncated DNS responses retried over TCP.
+    pub dns_truncated: u64,
+}
+
+impl MetricsSnapshot {
+    /// Combine two snapshots field-by-field.
+    #[must_use]
+    pub fn merge(&self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections_attempted: self.connections_attempted + other.connections_attempted,
+            connections_refused: self.connections_refused + other.connections_refused,
+            connections_aborted: self.connections_aborted + other.connections_aborted,
+            datagrams_sent: self.datagrams_sent + other.datagrams_sent,
+            datagrams_dropped: self.datagrams_dropped + other.datagrams_dropped,
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            dns_queries: self.dns_queries + other.dns_queries,
+            dns_cache_hits: self.dns_cache_hits + other.dns_cache_hits,
+            dns_truncated: self.dns_truncated + other.dns_truncated,
+        }
+    }
+}
+
+/// A power-of-two bucketed histogram of `u64` samples.
+///
+/// Bucket `i` counts samples whose value has bit-length `i` (bucket 0
+/// holds zeros, bucket 1 holds `1`, bucket 2 holds `2..=3`, and so on) —
+/// coarse, but allocation-free and mergeable. Shards record durations or
+/// sizes locally and the campaign merges the per-shard histograms; merge
+/// is associative and commutative, so shard order never matters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[(64 - value.leading_zeros()) as usize] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, if any were recorded.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any were recorded.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Mean sample value, if any were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Count in bucket `i` (samples of bit-length `i`).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Combine two histograms bucket-by-bucket.
+    #[must_use]
+    pub fn merge(&self, other: &Histogram) -> Histogram {
+        let mut buckets = [0u64; 65];
+        for (out, (a, b)) in buckets
+            .iter_mut()
+            .zip(self.buckets.iter().zip(other.buckets.iter()))
+        {
+            *out = a + b;
+        }
+        Histogram {
+            buckets,
+            count: self.count + other.count,
+            sum: self.sum.saturating_add(other.sum),
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,5 +267,78 @@ mod tests {
         assert_eq!(m.datagrams_sent(), 0);
         assert_eq!(m.datagrams_dropped(), 0);
         assert_eq!(m.dns_cache_hits(), 0);
+    }
+
+    fn snapshot_sample(k: u64) -> MetricsSnapshot {
+        let m = Metrics::new();
+        for _ in 0..k {
+            m.inc_dns_queries();
+            m.inc_connections_attempted();
+        }
+        for _ in 0..(k * 3 % 7) {
+            m.inc_datagrams_sent();
+        }
+        m.add_bytes_sent(k * 131);
+        m.snapshot()
+    }
+
+    fn histogram_sample(values: &[u64]) -> Histogram {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = Metrics::new();
+        m.inc_dns_queries();
+        m.inc_dns_cache_hits();
+        m.add_bytes_sent(42);
+        let s = m.snapshot();
+        assert_eq!(s.dns_queries, 1);
+        assert_eq!(s.dns_cache_hits, 1);
+        assert_eq!(s.bytes_sent, 42);
+        assert_eq!(s.connections_refused, 0);
+    }
+
+    #[test]
+    fn snapshot_merge_is_associative_and_commutative() {
+        let (a, b, c) = (snapshot_sample(3), snapshot_sample(5), snapshot_sample(11));
+        assert_eq!(a.merge(&b.merge(&c)), a.merge(&b).merge(&c));
+        assert_eq!(a.merge(&b), b.merge(&a));
+        // Identity: merging with a fresh snapshot changes nothing.
+        assert_eq!(a.merge(&MetricsSnapshot::default()), a);
+    }
+
+    #[test]
+    fn histogram_records_bucketed_stats() {
+        let h = histogram_sample(&[0, 1, 2, 3, 7, 1024]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1037);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1024));
+        assert_eq!(h.bucket(0), 1); // the zero
+        assert_eq!(h.bucket(1), 1); // 1
+        assert_eq!(h.bucket(2), 2); // 2 and 3
+        assert_eq!(h.bucket(3), 1); // 7
+        assert_eq!(h.bucket(11), 1); // 1024
+        assert!((h.mean().expect("non-empty") - 1037.0 / 6.0).abs() < 1e-9);
+        assert_eq!(Histogram::new().min(), None);
+        assert_eq!(Histogram::new().mean(), None);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        let a = histogram_sample(&[1, 2, 3]);
+        let b = histogram_sample(&[0, 7, 9000]);
+        let c = histogram_sample(&[u64::MAX, 5]);
+        assert_eq!(a.merge(&b.merge(&c)), a.merge(&b).merge(&c));
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&Histogram::new()), a);
+        // Merge equals recording the concatenation of the sample sets.
+        let all = histogram_sample(&[1, 2, 3, 0, 7, 9000, u64::MAX, 5]);
+        assert_eq!(a.merge(&b).merge(&c), all);
     }
 }

@@ -130,6 +130,10 @@ impl NotificationCampaign {
         for (i, (domain, covered)) in groups.into_iter().enumerate() {
             let token = format!("ntfy{i:06}");
             let (delivered, final_code) = Self::deliver(world, &mut rng, domain, &token);
+            // Each notification's reader behaviour draws from its own
+            // derived stream, so one recipient's dice never depend on
+            // how many draws delivery to earlier recipients consumed.
+            let mut rng = rng.fork_idx("reader", i as u64);
 
             // Opens: a lower-bound 12% of delivered mail loads the image
             // (§7.7). Hosts whose ground-truth patch cause is the private

@@ -12,11 +12,34 @@
 
 use std::collections::HashMap;
 
+use spfail_dns::QueryLog;
+use spfail_netsim::SimDuration;
 use spfail_world::{DomainId, HostId, Timeline, World};
 
 use crate::classify::Classification;
-use crate::ethics::EthicsAudit;
-use crate::probe::{ProbeOutcome, ProbeTest, Prober};
+use crate::ethics::{EthicsAudit, MAX_CONCURRENT};
+use crate::probe::{ProbeContext, ProbeOutcome, ProbeTest, Prober};
+
+/// Which shard a host belongs to when the campaign is split `shards` ways.
+///
+/// The key is the host id itself, so the partition depends only on the
+/// host set and the shard count — never on thread scheduling — and a
+/// host keeps all of its probes (and therefore its blacklisting counter
+/// and contact-spacing history) on a single worker.
+pub fn shard_of(host: HostId, shards: usize) -> usize {
+    host.0 as usize % shards.max(1)
+}
+
+/// Partition `hosts` into `shards` deterministic groups by [`shard_of`],
+/// preserving the input order within each group.
+pub fn partition_hosts(hosts: &[HostId], shards: usize) -> Vec<Vec<HostId>> {
+    let shards = shards.max(1);
+    let mut parts = vec![Vec::new(); shards];
+    for &host in hosts {
+        parts[shard_of(host, shards)].push(host);
+    }
+    parts
+}
 
 /// Table 3's per-address outcome ladder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,7 +55,7 @@ pub enum HostClass {
 }
 
 /// Both initial probes of one host.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HostInitialResult {
     /// The NoMsg probe (always attempted).
     pub nomsg: ProbeOutcome,
@@ -107,7 +130,7 @@ impl HostInitialResult {
 }
 
 /// The initial sweep's results.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct InitialMeasurement {
     /// Per-host results (every unique address probed once).
     pub results: HashMap<HostId, HostInitialResult>,
@@ -150,6 +173,7 @@ pub enum SnapshotStatus {
 }
 
 /// Everything the campaign measured.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignData {
     /// The initial sweep.
     pub initial: InitialMeasurement,
@@ -233,133 +257,333 @@ impl CampaignData {
     }
 }
 
+/// Simulated probing time per campaign phase.
+///
+/// Wall-clock numbers on one machine mostly measure the scheduler; the
+/// quantity sharding actually improves is how long the campaign keeps
+/// probers busy in *simulated* time — connection latency, SMTP
+/// round trips, contact-spacing waits, greylist retries. The sequential
+/// engine serialises every probe on one clock, so a sweep costs the sum
+/// of its probes; a sharded sweep costs only its busiest shard. The
+/// `scaling` benchmark reports the resulting speedup.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignTiming {
+    /// Busy time of the initial sweep.
+    pub initial: SimDuration,
+    /// Busy time of all longitudinal rounds combined.
+    pub rounds: SimDuration,
+    /// Busy time of the final snapshot.
+    pub snapshot: SimDuration,
+}
+
+impl CampaignTiming {
+    /// Total simulated probing time across all phases.
+    pub fn total(&self) -> SimDuration {
+        self.initial + self.rounds + self.snapshot
+    }
+}
+
 /// The campaign driver.
 pub struct Campaign;
 
 impl Campaign {
-    /// Run the complete measurement programme against `world`.
+    /// Run the complete measurement programme against `world`, probing
+    /// every host sequentially through the world's shared surfaces.
+    ///
+    /// This is the reference engine: [`Campaign::run_sharded`] must
+    /// produce identical [`CampaignData`] for every shard count, which
+    /// `tests/parallel.rs` asserts field by field.
     pub fn run(world: &World) -> CampaignData {
+        Self::run_timed(world).0
+    }
+
+    /// [`Campaign::run`], also reporting each phase's simulated busy
+    /// time (the serialised cost of every probe on the one clock).
+    pub fn run_timed(world: &World) -> (CampaignData, CampaignTiming) {
         let mut prober = Prober::new(world, "s1");
         let mut counts: HashMap<HostId, u32> = HashMap::new();
+        let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
 
-        let initial = Self::initial_sweep(world, &mut prober, &mut counts);
-
-        // Track the vulnerable plus the transient-but-remeasurable.
-        let mut tracked = initial.vulnerable_hosts();
-        for (&host, result) in &initial.results {
-            if result.transient() && !tracked.contains(&host) && result.vulnerable() {
-                tracked.push(host);
-            }
-        }
-        tracked.sort();
-
-        let vulnerable_domains: Vec<DomainId> = {
-            let mut v: Vec<DomainId> = (0..world.domains.len() as u32)
-                .map(DomainId)
-                .filter(|&d| {
-                    world
-                        .domain(d)
-                        .hosts
-                        .iter()
-                        .any(|h| tracked.binary_search(h).is_ok())
-                })
-                .collect();
-            v.sort();
-            v
-        };
-
-        // Preferred test per tracked host.
-        let preferred: HashMap<HostId, ProbeTest> = tracked
-            .iter()
-            .map(|&h| {
-                let test = initial
-                    .results
-                    .get(&h)
-                    .and_then(HostInitialResult::measured_by)
-                    .unwrap_or(ProbeTest::BlankMsg);
-                (h, test)
-            })
-            .collect();
+        let (initial, initial_busy) = Self::initial_sweep(&mut prober, &mut counts, &all_hosts);
+        let (tracked, vulnerable_domains, preferred) = Self::derive_tracking(world, &initial);
 
         // Longitudinal rounds.
         let mut rounds = Vec::new();
+        let mut rounds_busy = SimDuration::ZERO;
         for day in Timeline::all_round_days() {
-            world.clock.advance_to(Timeline::day_to_time(day));
-            world.query_log.clear();
-            prober.ethics_mut().begin_sweep();
-            let mut statuses = HashMap::new();
-            for &host in &tracked {
-                let seen = counts.entry(host).or_insert(0);
-                let test = preferred[&host];
-                let outcome = prober.probe(host, day, test, *seen);
-                *seen += 1;
-                let status = Self::round_status(&outcome);
-                statuses.insert(host, status);
-            }
+            let (statuses, busy) =
+                Self::round_sweep(&mut prober, day, &tracked, &preferred, &mut counts);
             rounds.push((day, statuses));
+            rounds_busy = rounds_busy + busy;
         }
 
         // Final snapshot with re-resolved addresses (§5.1, §7.2): fresh
         // resolution reaches the provider's current servers, so the
-        // campaign's accumulated blacklisting does not apply.
-        world.clock.advance_to(Timeline::day_to_time(Timeline::END));
-        world.query_log.clear();
+        // campaign's accumulated blacklisting does not apply. The
+        // snapshot is its own measurement sweep with its own prober:
+        // contact-spacing decisions then depend only on the snapshot's
+        // own probe sequence, never on how close the last longitudinal
+        // round happened to finish (the snapshot day coincides with the
+        // final round day, so carried-over contact history would make
+        // the audit depend on host interleaving).
+        let ethics = prober.ethics().audit().clone();
+        let mut prober = Prober::new(world, "s1");
+        prober
+            .context()
+            .clock
+            .advance_to(Timeline::day_to_time(Timeline::END));
+        prober.context().query_log.clear();
         prober.ethics_mut().begin_sweep();
-        let mut snapshot = HashMap::new();
-        for &domain in &vulnerable_domains {
-            let hosts = world.resolve_mail_hosts(domain, Timeline::END);
-            let vulnerable_hosts: Vec<HostId> = hosts
-                .into_iter()
-                .filter(|h| tracked.binary_search(h).is_ok())
-                .collect();
-            if vulnerable_hosts.is_empty() {
-                snapshot.insert(domain, SnapshotStatus::Unknown);
-                continue;
-            }
-            let mut status = SnapshotStatus::Patched;
-            for host in vulnerable_hosts {
-                let test = preferred.get(&host).copied().unwrap_or(ProbeTest::BlankMsg);
-                let mut outcome = prober.probe(host, Timeline::END, test, 0);
-                if !outcome.spf_measured() {
-                    outcome = prober.probe(host, Timeline::END, test, 0);
-                }
-                match Self::round_status(&outcome) {
-                    RoundStatus::Vulnerable => {
-                        status = SnapshotStatus::Vulnerable;
-                        break;
-                    }
-                    RoundStatus::Patched => {}
-                    RoundStatus::Inconclusive => {
-                        if status == SnapshotStatus::Patched {
-                            status = SnapshotStatus::Unknown;
-                        }
-                    }
-                }
-            }
-            snapshot.insert(domain, status);
-        }
+        let (targets, domain_hosts) = Self::snapshot_targets(world, &vulnerable_domains, &tracked);
+        let (host_statuses, snapshot_busy) = Self::snapshot_sweep(&mut prober, &targets, &preferred);
+        let snapshot = Self::aggregate_snapshot(&domain_hosts, &host_statuses);
 
-        CampaignData {
+        let data = CampaignData {
             initial,
             tracked,
             rounds,
             snapshot,
             vulnerable_domains,
-            ethics: prober.ethics().audit().clone(),
-        }
+            ethics: ethics.merge(prober.ethics().audit()),
+        };
+        let timing = CampaignTiming {
+            initial: initial_busy,
+            rounds: rounds_busy,
+            snapshot: snapshot_busy,
+        };
+        (data, timing)
     }
 
-    /// The initial sweep over every unique address.
+    /// Run the complete measurement programme split across `shards`
+    /// parallel workers.
+    ///
+    /// Hosts are partitioned by [`shard_of`]; each worker probes its
+    /// partition through an isolated [`ProbeContext`] (own DNS
+    /// directory, query log, and clock) with its own slice of the
+    /// [`MAX_CONCURRENT`] connection budget. Because every probe's
+    /// randomness is derived from the probe's own identity (see
+    /// [`Prober::probe`]) and blacklisting counters travel with the
+    /// host, each worker measures exactly what the sequential engine
+    /// would have measured for the same hosts. Shard results are merged
+    /// in canonical shard order, so the output is identical for every
+    /// shard count — including `run_sharded(world, 1)` vs `run(world)`.
+    pub fn run_sharded(world: &World, shards: usize) -> CampaignData {
+        Self::run_sharded_timed(world, shards).0
+    }
+
+    /// [`Campaign::run_sharded`], also reporting each phase's simulated
+    /// busy time. Shards probe concurrently against independent clocks,
+    /// so a phase costs its *slowest* shard, not the sum — the makespan
+    /// a real parallel campaign would observe.
+    pub fn run_sharded_timed(world: &World, shards: usize) -> (CampaignData, CampaignTiming) {
+        let shards = shards.max(1);
+        let budget = (MAX_CONCURRENT / shards).max(1);
+        let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
+        let partitions = partition_hosts(&all_hosts, shards);
+
+        // Phase 1: initial sweep, one worker per shard. The scope join is
+        // the barrier: tracking derivation needs every shard's results.
+        type SweepOut = (
+            InitialMeasurement,
+            HashMap<HostId, u32>,
+            EthicsAudit,
+            SimDuration,
+        );
+        let sweep_outputs: Vec<SweepOut> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .map(|part| {
+                    s.spawn(move |_| {
+                        let mut prober = Prober::with_context(
+                            world,
+                            "s1",
+                            ProbeContext::isolated(world),
+                            budget,
+                        );
+                        let mut counts = HashMap::new();
+                        let (initial, busy) = Self::initial_sweep(&mut prober, &mut counts, part);
+                        (initial, counts, prober.ethics().audit().clone(), busy)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("scope");
+
+        let mut initial = InitialMeasurement::default();
+        let mut counts: HashMap<HostId, u32> = HashMap::new();
+        let mut ethics = EthicsAudit::default();
+        let mut initial_busy = SimDuration::ZERO;
+        for (part_initial, part_counts, part_audit, busy) in sweep_outputs {
+            initial.results.extend(part_initial.results);
+            counts.extend(part_counts);
+            ethics = ethics.merge(&part_audit);
+            initial_busy = initial_busy.max(busy);
+        }
+        let (tracked, vulnerable_domains, preferred) = Self::derive_tracking(world, &initial);
+
+        // Phase 2: longitudinal rounds. Tracked hosts are re-partitioned
+        // with the same shard key, so a host's blacklisting counter and
+        // contact history stay on one worker for the whole phase.
+        let tracked_parts = partition_hosts(&tracked, shards);
+        let round_days = Timeline::all_round_days();
+        type RoundOut = (Vec<(HashMap<HostId, RoundStatus>, SimDuration)>, EthicsAudit);
+        let round_outputs: Vec<RoundOut> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = tracked_parts
+                .iter()
+                .map(|part| {
+                    let mut part_counts: HashMap<HostId, u32> = part
+                        .iter()
+                        .map(|h| (*h, counts.get(h).copied().unwrap_or(0)))
+                        .collect();
+                    let round_days = &round_days;
+                    let preferred = &preferred;
+                    s.spawn(move |_| {
+                        let mut prober = Prober::with_context(
+                            world,
+                            "s1",
+                            ProbeContext::isolated(world),
+                            budget,
+                        );
+                        let statuses: Vec<(HashMap<HostId, RoundStatus>, SimDuration)> =
+                            round_days
+                                .iter()
+                                .map(|&day| {
+                                    Self::round_sweep(
+                                        &mut prober,
+                                        day,
+                                        part,
+                                        preferred,
+                                        &mut part_counts,
+                                    )
+                                })
+                                .collect();
+                        (statuses, prober.ethics().audit().clone())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("scope");
+
+        // Each round is a synchronisation point (every shard starts it at
+        // the same simulated day), so a round costs its slowest shard and
+        // the phase costs the sum over rounds.
+        let mut rounds: Vec<(u16, HashMap<HostId, RoundStatus>)> = round_days
+            .iter()
+            .map(|&day| (day, HashMap::new()))
+            .collect();
+        let mut round_busies = vec![SimDuration::ZERO; round_days.len()];
+        for (shard_statuses, part_audit) in round_outputs {
+            for (i, (slot, (statuses, busy))) in
+                rounds.iter_mut().zip(shard_statuses).enumerate()
+            {
+                slot.1.extend(statuses);
+                round_busies[i] = round_busies[i].max(busy);
+            }
+            ethics = ethics.merge(&part_audit);
+        }
+        let rounds_busy = round_busies
+            .into_iter()
+            .fold(SimDuration::ZERO, |acc, b| acc + b);
+
+        // Phase 3: final snapshot over the re-resolved tracked hosts.
+        let (targets, domain_hosts) = Self::snapshot_targets(world, &vulnerable_domains, &tracked);
+        let target_parts = partition_hosts(&targets, shards);
+        type SnapOut = (
+            HashMap<HostId, RoundStatus>,
+            EthicsAudit,
+            QueryLog,
+            SimDuration,
+        );
+        let snapshot_outputs: Vec<SnapOut> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = target_parts
+                .iter()
+                .map(|part| {
+                    let preferred = &preferred;
+                    s.spawn(move |_| {
+                        let mut prober = Prober::with_context(
+                            world,
+                            "s1",
+                            ProbeContext::isolated(world),
+                            budget,
+                        );
+                        prober
+                            .context()
+                            .clock
+                            .advance_to(Timeline::day_to_time(Timeline::END));
+                        prober.ethics_mut().begin_sweep();
+                        let (statuses, busy) = Self::snapshot_sweep(&mut prober, part, preferred);
+                        let log = prober.context().query_log.clone();
+                        (statuses, prober.ethics().audit().clone(), log, busy)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("scope");
+
+        let mut host_statuses: HashMap<HostId, RoundStatus> = HashMap::new();
+        let mut snapshot_logs = Vec::new();
+        let mut snapshot_busy = SimDuration::ZERO;
+        for (statuses, part_audit, log, busy) in snapshot_outputs {
+            host_statuses.extend(statuses);
+            ethics = ethics.merge(&part_audit);
+            snapshot_logs.push(log);
+            snapshot_busy = snapshot_busy.max(busy);
+        }
+        let snapshot = Self::aggregate_snapshot(&domain_hosts, &host_statuses);
+
+        // Leave the world's shared surfaces where the sequential engine
+        // leaves them: clock at the snapshot day, query log holding the
+        // snapshot phase's queries in simulated-time order.
+        world.clock.advance_to(Timeline::day_to_time(Timeline::END));
+        world.query_log.clear();
+        world
+            .query_log
+            .extend(QueryLog::merged(snapshot_logs.iter()).snapshot());
+
+        let data = CampaignData {
+            initial,
+            tracked,
+            rounds,
+            snapshot,
+            vulnerable_domains,
+            ethics,
+        };
+        let timing = CampaignTiming {
+            initial: initial_busy,
+            rounds: rounds_busy,
+            snapshot: snapshot_busy,
+        };
+        (data, timing)
+    }
+
+    /// The initial sweep over `hosts` (the whole world for the
+    /// sequential engine, one partition per shard worker).
     fn initial_sweep(
-        world: &World,
         prober: &mut Prober<'_>,
         counts: &mut HashMap<HostId, u32>,
-    ) -> InitialMeasurement {
-        world.clock.advance_to(Timeline::day_to_time(Timeline::INITIAL));
+        hosts: &[HostId],
+    ) -> (InitialMeasurement, SimDuration) {
+        let query_log = prober.context().query_log.clone();
+        prober
+            .context()
+            .clock
+            .advance_to(Timeline::day_to_time(Timeline::INITIAL));
         prober.ethics_mut().begin_sweep();
-        let mut results = HashMap::with_capacity(world.hosts.len());
-        for raw in 0..world.hosts.len() as u32 {
-            let host = HostId(raw);
+        let start = prober.context().clock.now();
+        let mut results = HashMap::with_capacity(hosts.len());
+        for &host in hosts {
             let nomsg = prober.probe(host, Timeline::INITIAL, ProbeTest::NoMsg, 0);
             let mut seen = 1;
             // BlankMsg only when NoMsg ran but elicited no SPF (§5.1).
@@ -373,13 +597,160 @@ impl Campaign {
             };
             counts.insert(host, seen);
             results.insert(host, HostInitialResult { nomsg, blankmsg });
-            // Keep the shared query log bounded: each probe reads only its
-            // own window, so anything older is dead weight.
-            if world.query_log.len() > 50_000 {
-                world.query_log.clear();
+            // Keep the query log bounded: each probe reads only its own
+            // window, so anything older is dead weight.
+            if query_log.len() > 50_000 {
+                query_log.clear();
             }
         }
-        InitialMeasurement { results }
+        let busy = prober.context().clock.now().since(start);
+        (InitialMeasurement { results }, busy)
+    }
+
+    /// Derive the longitudinal tracking set from the initial sweep:
+    /// tracked hosts, initially vulnerable domains, and the preferred
+    /// test variant per tracked host. Pure post-processing — it reads
+    /// only the merged sweep results, never the probing surfaces, so
+    /// both engines share it verbatim.
+    fn derive_tracking(
+        world: &World,
+        initial: &InitialMeasurement,
+    ) -> (Vec<HostId>, Vec<DomainId>, HashMap<HostId, ProbeTest>) {
+        // Track the vulnerable plus the transient-but-remeasurable.
+        let mut tracked = initial.vulnerable_hosts();
+        for (&host, result) in &initial.results {
+            if result.transient() && !tracked.contains(&host) && result.vulnerable() {
+                tracked.push(host);
+            }
+        }
+        tracked.sort();
+
+        let mut vulnerable_domains: Vec<DomainId> = (0..world.domains.len() as u32)
+            .map(DomainId)
+            .filter(|&d| {
+                world
+                    .domain(d)
+                    .hosts
+                    .iter()
+                    .any(|h| tracked.binary_search(h).is_ok())
+            })
+            .collect();
+        vulnerable_domains.sort();
+
+        let preferred: HashMap<HostId, ProbeTest> = tracked
+            .iter()
+            .map(|&h| {
+                let test = initial
+                    .results
+                    .get(&h)
+                    .and_then(HostInitialResult::measured_by)
+                    .unwrap_or(ProbeTest::BlankMsg);
+                (h, test)
+            })
+            .collect();
+
+        (tracked, vulnerable_domains, preferred)
+    }
+
+    /// One longitudinal round over `hosts` as of `day`.
+    fn round_sweep(
+        prober: &mut Prober<'_>,
+        day: u16,
+        hosts: &[HostId],
+        preferred: &HashMap<HostId, ProbeTest>,
+        counts: &mut HashMap<HostId, u32>,
+    ) -> (HashMap<HostId, RoundStatus>, SimDuration) {
+        prober.context().clock.advance_to(Timeline::day_to_time(day));
+        prober.context().query_log.clear();
+        prober.ethics_mut().begin_sweep();
+        let start = prober.context().clock.now();
+        let mut statuses = HashMap::new();
+        for &host in hosts {
+            let seen = counts.entry(host).or_insert(0);
+            let test = preferred[&host];
+            let outcome = prober.probe(host, day, test, *seen);
+            *seen += 1;
+            statuses.insert(host, Self::round_status(&outcome));
+        }
+        let busy = prober.context().clock.now().since(start);
+        (statuses, busy)
+    }
+
+    /// The snapshot's probe targets: for each initially vulnerable
+    /// domain, its freshly re-resolved hosts that are tracked; plus the
+    /// deduplicated, sorted union (each host is probed exactly once even
+    /// when domains share servers).
+    fn snapshot_targets(
+        world: &World,
+        vulnerable_domains: &[DomainId],
+        tracked: &[HostId],
+    ) -> (Vec<HostId>, Vec<(DomainId, Vec<HostId>)>) {
+        let mut domain_hosts = Vec::with_capacity(vulnerable_domains.len());
+        let mut targets = Vec::new();
+        for &domain in vulnerable_domains {
+            let hosts: Vec<HostId> = world
+                .resolve_mail_hosts(domain, Timeline::END)
+                .into_iter()
+                .filter(|h| tracked.binary_search(h).is_ok())
+                .collect();
+            targets.extend(hosts.iter().copied());
+            domain_hosts.push((domain, hosts));
+        }
+        targets.sort();
+        targets.dedup();
+        (targets, domain_hosts)
+    }
+
+    /// Probe each snapshot target once (with one retry when the first
+    /// attempt was inconclusive) and record its February status.
+    fn snapshot_sweep(
+        prober: &mut Prober<'_>,
+        hosts: &[HostId],
+        preferred: &HashMap<HostId, ProbeTest>,
+    ) -> (HashMap<HostId, RoundStatus>, SimDuration) {
+        let start = prober.context().clock.now();
+        let mut statuses = HashMap::new();
+        for &host in hosts {
+            let test = preferred.get(&host).copied().unwrap_or(ProbeTest::BlankMsg);
+            let mut outcome = prober.probe(host, Timeline::END, test, 0);
+            if !outcome.spf_measured() {
+                outcome = prober.probe(host, Timeline::END, test, 0);
+            }
+            statuses.insert(host, Self::round_status(&outcome));
+        }
+        let busy = prober.context().clock.now().since(start);
+        (statuses, busy)
+    }
+
+    /// Fold per-host snapshot statuses into per-domain verdicts: any
+    /// vulnerable host condemns the domain; otherwise any inconclusive
+    /// host leaves it unknown; only a clean sweep of patched hosts (of
+    /// at least one host) counts as patched.
+    fn aggregate_snapshot(
+        domain_hosts: &[(DomainId, Vec<HostId>)],
+        statuses: &HashMap<HostId, RoundStatus>,
+    ) -> HashMap<DomainId, SnapshotStatus> {
+        domain_hosts
+            .iter()
+            .map(|(domain, hosts)| {
+                let status = if hosts.is_empty() {
+                    SnapshotStatus::Unknown
+                } else if hosts
+                    .iter()
+                    .any(|h| statuses.get(h) == Some(&RoundStatus::Vulnerable))
+                {
+                    SnapshotStatus::Vulnerable
+                } else if hosts
+                    .iter()
+                    .any(|h| statuses.get(h) != Some(&RoundStatus::Patched))
+                {
+                    SnapshotStatus::Unknown
+                } else {
+                    SnapshotStatus::Patched
+                };
+                (*domain, status)
+            })
+            .collect()
     }
 
     fn round_status(outcome: &ProbeOutcome) -> RoundStatus {

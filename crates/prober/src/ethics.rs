@@ -40,23 +40,51 @@ pub struct EthicsAudit {
     pub peak_concurrency: usize,
 }
 
+impl EthicsAudit {
+    /// Combine the audits of two workers that probed disjoint host sets.
+    ///
+    /// Waits and admissions simply add; concurrency peaks can coincide,
+    /// so the combined peak is the maximum (a safe over-approximation
+    /// equals the sum, but each worker's slots are carved out of the
+    /// shared [`MAX_CONCURRENT`] budget, so peaks never alias).
+    #[must_use]
+    pub fn merge(&self, other: &EthicsAudit) -> EthicsAudit {
+        EthicsAudit {
+            immediate: self.immediate + other.immediate,
+            spaced: self.spaced + other.spaced,
+            greylist_waits: self.greylist_waits + other.greylist_waits,
+            dedup_suppressed: self.dedup_suppressed + other.dedup_suppressed,
+            peak_concurrency: self.peak_concurrency.max(other.peak_concurrency),
+        }
+    }
+}
+
 /// Enforces the measurement ethics rules.
 pub struct EthicsGuard {
     clock: SimClock,
     last_contact: HashMap<IpAddr, SimTime>,
     tested_this_sweep: HashMap<IpAddr, ()>,
     in_flight: usize,
+    max_concurrent: usize,
     audit: EthicsAudit,
 }
 
 impl EthicsGuard {
-    /// A new guard against the shared clock.
+    /// A new guard against the shared clock, with the full §6.1 budget.
     pub fn new(clock: SimClock) -> EthicsGuard {
+        EthicsGuard::with_budget(clock, MAX_CONCURRENT)
+    }
+
+    /// A guard holding only `max_concurrent` of the campaign-wide
+    /// connection budget — shard workers split [`MAX_CONCURRENT`]
+    /// between them so the fleet never exceeds the paper's cap.
+    pub fn with_budget(clock: SimClock, max_concurrent: usize) -> EthicsGuard {
         EthicsGuard {
             clock,
             last_contact: HashMap::new(),
             tested_this_sweep: HashMap::new(),
             in_flight: 0,
+            max_concurrent: max_concurrent.clamp(1, MAX_CONCURRENT),
             audit: EthicsAudit::default(),
         }
     }
@@ -98,8 +126,8 @@ impl EthicsGuard {
         // slot accounting documents the cap and trips if logic ever tries
         // to exceed it.
         assert!(
-            self.in_flight < MAX_CONCURRENT,
-            "concurrency cap exceeded: the prober must throttle"
+            self.in_flight < self.max_concurrent,
+            "concurrency budget exceeded: the prober must throttle"
         );
         self.in_flight += 1;
         self.audit.peak_concurrency = self.audit.peak_concurrency.max(self.in_flight);

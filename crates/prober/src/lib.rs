@@ -31,9 +31,9 @@ pub mod ethics;
 pub mod probe;
 
 pub use campaign::{
-    Campaign, CampaignData, HostClass, HostInitialResult, InitialMeasurement, RoundStatus,
-    SnapshotStatus,
+    partition_hosts, shard_of, Campaign, CampaignData, CampaignTiming, HostClass,
+    HostInitialResult, InitialMeasurement, RoundStatus, SnapshotStatus,
 };
 pub use classify::{classify, Classification};
 pub use ethics::{EthicsAudit, EthicsGuard};
-pub use probe::{ProbeOutcome, ProbeTest, Prober};
+pub use probe::{ProbeContext, ProbeOutcome, ProbeTest, Prober};

@@ -1,10 +1,13 @@
 //! Driving one probe transaction against one simulated host.
 
+use std::collections::HashMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
+use spfail_dns::{Directory, QueryLog, SpfTestAuthority};
 use spfail_mta::mta::ConnectDecision;
 use spfail_mta::Mta;
-use spfail_netsim::SimRng;
+use spfail_netsim::{SimClock, SimRng};
 use spfail_smtp::address::EmailAddress;
 use spfail_smtp::client::{
     ClientAction, ClientRunner, TransactionOutcome, TransactionPlan, TransactionStep,
@@ -14,7 +17,7 @@ use spfail_smtp::session::SessionState;
 use spfail_world::{HostId, World};
 
 use crate::classify::{classify, Classification, RESERVED_ID_LABELS};
-use crate::ethics::EthicsGuard;
+use crate::ethics::{EthicsGuard, MAX_CONCURRENT};
 
 /// Which probe variant ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -34,8 +37,55 @@ impl ProbeTest {
     }
 }
 
-/// Everything one probe produced.
+/// The simulation surfaces a prober probes through: the DNS directory
+/// the probed MTAs resolve against (holding the measurement zone's
+/// authority), that zone's query log, and the clock the ethics spacing
+/// rules are enforced on.
+///
+/// The sequential engine probes through the world's shared surfaces;
+/// the sharded engine gives each worker an isolated copy so probing on
+/// one shard never observes another shard's queries or clock waits.
 #[derive(Debug, Clone)]
+pub struct ProbeContext {
+    /// DNS directory the probed MTAs resolve through.
+    pub directory: Directory,
+    /// The measurement zone's query log.
+    pub query_log: QueryLog,
+    /// The clock probing advances.
+    pub clock: SimClock,
+}
+
+impl ProbeContext {
+    /// The world's own directory, log, and clock (sequential probing).
+    pub fn shared(world: &World) -> ProbeContext {
+        ProbeContext {
+            directory: world.directory.clone(),
+            query_log: world.query_log.clone(),
+            clock: world.clock.clone(),
+        }
+    }
+
+    /// A private directory, log, and clock for one shard worker. The
+    /// clock starts at the world's current time; the directory holds a
+    /// fresh measurement-zone authority recording into the private log.
+    pub fn isolated(world: &World) -> ProbeContext {
+        let clock = SimClock::starting_at(world.clock.now());
+        let query_log = QueryLog::new();
+        let directory = Directory::new();
+        directory.register(Arc::new(SpfTestAuthority::new(
+            world.zone_origin.clone(),
+            query_log.clone(),
+        )));
+        ProbeContext {
+            directory,
+            query_log,
+            clock,
+        }
+    }
+}
+
+/// Everything one probe produced.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProbeOutcome {
     /// The probed host.
     pub host: HostId,
@@ -77,27 +127,64 @@ impl ProbeOutcome {
 
 /// The probing client: owns the unique-label generator and the ethics
 /// guard, and drives transactions against the world's hosts.
+///
+/// Every probe draws its randomness from a stream forked off the suite's
+/// base RNG by the probe's full identity — host, day, test, replayed
+/// connection count, and an occurrence counter for repeats. A host's
+/// k-th identical probe therefore rolls identical dice no matter how
+/// hosts are interleaved on one worker or partitioned across many,
+/// which is the property the sharded campaign engine's shard-count
+/// invariance rests on.
 pub struct Prober<'w> {
     world: &'w World,
     /// The per-campaign suite label (§5.1: unique per test suite).
     pub suite: String,
     source_ip: IpAddr,
+    ctx: ProbeContext,
+    base_rng: SimRng,
     rng: SimRng,
     ethics: EthicsGuard,
     next_id: u64,
+    occurrences: HashMap<(u32, u16, u8, u32), u64>,
 }
 
 impl<'w> Prober<'w> {
-    /// A prober for `world` with the given suite label.
+    /// A prober for `world` with the given suite label, probing through
+    /// the world's shared context.
     pub fn new(world: &'w World, suite: &str) -> Prober<'w> {
+        Prober::with_context(world, suite, ProbeContext::shared(world), MAX_CONCURRENT)
+    }
+
+    /// A prober probing through an explicit context with an explicit
+    /// concurrency budget (the sharded engine splits [`MAX_CONCURRENT`]
+    /// across its workers so the fleet-wide cap still holds).
+    ///
+    /// The base RNG depends only on the world seed and suite — never on
+    /// the context or budget — so probers on different shards draw from
+    /// the same per-probe streams.
+    pub fn with_context(
+        world: &'w World,
+        suite: &str,
+        ctx: ProbeContext,
+        max_concurrent: usize,
+    ) -> Prober<'w> {
+        let base_rng = world.fork_rng(&format!("prober-{suite}"));
         Prober {
             world,
             suite: suite.to_string(),
             source_ip: "203.0.113.25".parse().expect("static address"),
-            rng: world.fork_rng(&format!("prober-{suite}")),
-            ethics: EthicsGuard::new(world.clock.clone()),
+            ethics: EthicsGuard::with_budget(ctx.clock.clone(), max_concurrent),
+            rng: base_rng.fork("id-sequence"),
+            base_rng,
+            ctx,
             next_id: 0,
+            occurrences: HashMap::new(),
         }
+    }
+
+    /// The context this prober probes through.
+    pub fn context(&self) -> &ProbeContext {
+        &self.ctx
     }
 
     /// The ethics guard (for audits).
@@ -112,14 +199,16 @@ impl<'w> Prober<'w> {
 
     /// Generate the next unique probe id: a 4–5 character alphanumeric
     /// label that never collides with the fingerprint's fixed labels.
+    /// The embedded base-36 counter guarantees uniqueness for the first
+    /// 46 656 ids without relying on the random prefix.
     pub fn next_probe_id(&mut self) -> String {
         loop {
             self.next_id += 1;
             let len = 4 + (self.next_id % 2) as usize;
             let id = format!(
                 "{}{}",
-                self.rng.alnum_label(len - 2),
-                base36(self.next_id % 1296)
+                self.rng.alnum_label(len - 3),
+                base36(self.next_id % 46_656)
             );
             if !RESERVED_ID_LABELS.contains(&id.as_str()) && id != self.suite {
                 return id;
@@ -131,7 +220,11 @@ impl<'w> Prober<'w> {
     ///
     /// `extra_connections` is how many probe connections this host has
     /// already received across the campaign (its blacklisting counter).
-    /// `flaky_roll` decides transient unreachability for this attempt.
+    ///
+    /// The outcome is a pure function of `(host, day, test,
+    /// extra_connections)` and how many times this prober has issued
+    /// that exact probe before — repeating a probe rolls fresh (but
+    /// reproducible) dice, and no other host's probes perturb it.
     pub fn probe(
         &mut self,
         host: HostId,
@@ -139,11 +232,28 @@ impl<'w> Prober<'w> {
         test: ProbeTest,
         extra_connections: u32,
     ) -> ProbeOutcome {
-        let id = self.next_probe_id();
+        let test_tag = match test {
+            ProbeTest::NoMsg => 0u8,
+            ProbeTest::BlankMsg => 1u8,
+        };
+        let occurrence = {
+            let counter = self
+                .occurrences
+                .entry((host.0, day, test_tag, extra_connections))
+                .or_insert(0);
+            let occurrence = *counter;
+            *counter += 1;
+            occurrence
+        };
+        let mut rng = self.base_rng.fork(&format!(
+            "probe-h{}-d{day}-t{test_tag}-x{extra_connections}-n{occurrence}",
+            host.0
+        ));
+        let id = Self::probe_id(&mut rng, &self.suite);
         let record = self.world.host(host);
 
         // Transient flakiness: the host is unreachable this round.
-        if self.rng.chance(record.profile.flaky) {
+        if rng.chance(record.profile.flaky) {
             return ProbeOutcome {
                 host,
                 test,
@@ -156,14 +266,19 @@ impl<'w> Prober<'w> {
             };
         }
 
-        let mut mta = self.world.build_mta(host, day);
+        let mut mta = self.world.build_mta_in(
+            host,
+            day,
+            self.ctx.directory.clone(),
+            self.ctx.clock.clone(),
+        );
         // Restore the host's cross-round connection count so blacklisting
         // thresholds apply campaign-wide, not per-instance.
         for _ in 0..extra_connections {
             let _ = mta.connect(self.source_ip);
         }
 
-        let log_start = self.world.query_log.len();
+        let log_start = self.ctx.query_log.len();
         let sender_domain = format!(
             "{}.{}.{}",
             id,
@@ -172,7 +287,7 @@ impl<'w> Prober<'w> {
         );
         let transaction =
             self.run_transaction(&mut mta, IpAddr::V4(record.ip), &sender_domain, test);
-        let entries = self.world.query_log.entries_from(log_start);
+        let entries = self.ctx.query_log.entries_from(log_start);
         let classification = classify(&entries, &id, &self.suite, &self.world.zone_origin);
 
         ProbeOutcome {
@@ -181,6 +296,21 @@ impl<'w> Prober<'w> {
             id,
             transaction,
             classification,
+        }
+    }
+
+    /// A probe id drawn from the probe's own stream: a 4–5 character
+    /// alphanumeric label avoiding the fingerprint's fixed labels. Ids
+    /// only need to be unique within one probe's query-log window (each
+    /// probe classifies only the entries it appended itself), so two
+    /// different probes drawing the same label is harmless.
+    fn probe_id(rng: &mut SimRng, suite: &str) -> String {
+        loop {
+            let len = 4 + rng.below(2) as usize;
+            let id = rng.alnum_label(len);
+            if !RESERVED_ID_LABELS.contains(&id.as_str()) && id != suite {
+                return id;
+            }
         }
     }
 
@@ -275,9 +405,11 @@ impl<'w> Prober<'w> {
 
 fn base36(mut n: u64) -> String {
     const DIGITS: &[u8] = b"0123456789abcdefghijklmnopqrstuvwxyz";
-    let mut out = vec![DIGITS[(n % 36) as usize]];
-    n /= 36;
-    out.push(DIGITS[(n % 36) as usize]);
+    let mut out = Vec::with_capacity(3);
+    for _ in 0..3 {
+        out.push(DIGITS[(n % 36) as usize]);
+        n /= 36;
+    }
     out.reverse();
     String::from_utf8(out).expect("ascii")
 }
@@ -423,11 +555,14 @@ mod tests {
     #[test]
     fn greylisting_host_is_retried_and_measured() {
         let w = world();
-        // Find a greylisting SPF host that otherwise behaves.
+        // Find a greylisting SPF host that otherwise behaves. It must
+        // validate at the DATA stage: an OnMailFrom host rejects the
+        // probe's failing SPF before RCPT, so its greylisting never
+        // engages.
         let host = (0..w.hosts.len() as u32).map(HostId).find(|&h| {
             let p = &w.host(h).profile;
             p.greylist
-                && p.validates_spf()
+                && p.spf_stage == spfail_mta::SpfStage::OnData
                 && p.connect == spfail_mta::ConnectPolicy::Accept
                 && p.quirk == spfail_mta::SmtpQuirk::None
                 && p.rcpt_reject_first_n == 0

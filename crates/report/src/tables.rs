@@ -87,7 +87,7 @@ pub fn table2(ctx: &Context) -> Exhibit {
 }
 
 /// Per-set NoMsg/BlankMsg outcome counts (one Table 3 column pair).
-#[derive(Debug, Default, Clone, serde::Serialize)]
+#[derive(Debug, Default, Clone)]
 struct Outcomes {
     total: usize,
     refused: usize,
@@ -100,6 +100,24 @@ struct Outcomes {
     blank_measured: usize,
     blank_not_measured: usize,
     total_measured: usize,
+}
+
+impl Outcomes {
+    fn to_json(&self) -> Value {
+        json!({
+            "total": self.total,
+            "refused": self.refused,
+            "nomsg_total": self.nomsg_total,
+            "nomsg_failure": self.nomsg_failure,
+            "nomsg_measured": self.nomsg_measured,
+            "nomsg_not_measured": self.nomsg_not_measured,
+            "blank_total": self.blank_total,
+            "blank_failure": self.blank_failure,
+            "blank_measured": self.blank_measured,
+            "blank_not_measured": self.blank_not_measured,
+            "total_measured": self.total_measured,
+        })
+    }
 }
 
 fn address_outcomes(ctx: &Context, set: SetFilter) -> Outcomes {
@@ -222,7 +240,7 @@ pub fn table3(ctx: &Context) -> Exhibit {
         rendered: table.render(),
         json: json!(columns
             .iter()
-            .map(|(label, o)| (label.to_string(), serde_json::to_value(o).expect("serializable")))
+            .map(|(label, o)| (label.to_string(), o.to_json()))
             .collect::<BTreeMap<String, Value>>()),
     }
 }

@@ -248,14 +248,31 @@ impl World {
 
     /// Build the live MTA for `host` as of day `day`.
     pub fn build_mta(&self, host: HostId, day: u16) -> Mta {
+        self.build_mta_in(host, day, self.directory.clone(), self.clock.clone())
+    }
+
+    /// Build an MTA against an explicit DNS directory and clock instead
+    /// of the world's shared ones — the sharded campaign engine gives
+    /// each shard its own directory/clock so that probing on one worker
+    /// never observes another worker's queries or time.
+    ///
+    /// The MTA's RNG stream depends only on the host id, so a shard
+    /// builds exactly the MTA the sequential engine would.
+    pub fn build_mta_in(
+        &self,
+        host: HostId,
+        day: u16,
+        directory: Directory,
+        clock: SimClock,
+    ) -> Mta {
         let record = self.host(host);
         let hostname = format!("mx{}.{}", host.0, record.primary_tld);
         let config = record.profile.mta_config(&hostname, day);
         Mta::new(
             config,
             std::net::IpAddr::V4(record.ip),
-            self.directory.clone(),
-            self.clock.clone(),
+            directory,
+            clock,
             self.rng_root.fork_idx("mta", u64::from(host.0)),
         )
     }
@@ -265,6 +282,13 @@ impl World {
         self.rng_root.fork(label)
     }
 }
+
+// The sharded campaign engine shares one `&World` across worker
+// threads; keep that capability from silently regressing.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<World>();
+};
 
 /// Pick `count` distinct indices in `[0, bound)`.
 fn pick_distinct(rng: &mut SimRng, bound: usize, count: usize) -> Vec<usize> {

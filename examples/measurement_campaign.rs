@@ -5,13 +5,41 @@
 //!
 //! ```text
 //! cargo run -p spfail --release --example measurement_campaign
+//! cargo run -p spfail --release --example measurement_campaign -- --shards 4
 //! ```
+//!
+//! `--shards N` runs the campaign on the sharded parallel engine; the
+//! result is bit-for-bit identical for every `N` (see tests/parallel.rs).
 
 use spfail::notify::{NotificationCampaign, PixelLog};
 use spfail::prober::{Campaign, SnapshotStatus};
 use spfail::world::{Timeline, World, WorldConfig};
 
+/// Parse `--shards N` from the command line (0 or absent = sequential).
+fn shards_from_args() -> usize {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("--shards expects a positive integer");
+                    std::process::exit(2);
+                });
+        }
+        if let Some(v) = arg.strip_prefix("--shards=") {
+            return v.parse().unwrap_or_else(|_| {
+                eprintln!("--shards expects a positive integer");
+                std::process::exit(2);
+            });
+        }
+    }
+    0
+}
+
 fn main() {
+    let shards = shards_from_args();
     let config = WorldConfig {
         scale: 0.02,
         ..WorldConfig::default()
@@ -29,7 +57,12 @@ fn main() {
     );
 
     println!("running the initial sweep ({})...", Timeline::date_label(0));
-    let data = Campaign::run(&world);
+    let data = if shards > 1 {
+        println!("  (sharded engine, {shards} parallel workers)");
+        Campaign::run_sharded(&world, shards)
+    } else {
+        Campaign::run(&world)
+    };
     println!(
         "  {} addresses measured vulnerable, hosting {} domains",
         data.tracked.len(),

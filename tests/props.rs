@@ -1,10 +1,15 @@
 //! Property-based tests on the core data structures and invariants.
-
-use proptest::prelude::*;
+//!
+//! The harness is hand-rolled on top of [`SimRng`]: each property runs a
+//! fixed number of cases, every case drawing its inputs from a stream
+//! forked off a per-property seed. Failures are therefore perfectly
+//! reproducible (there is no time- or thread-dependent entropy), and no
+//! external property-testing crate is needed.
 
 use spfail::dns::{wire, Message, Name, RData, Record, RecordType};
 use spfail::libspf2::{LibSpf2Expander, MemSim};
 use spfail::netsim::{EventQueue, SimRng, SimTime};
+use spfail::prober::{partition_hosts, shard_of};
 use spfail::smtp::command::Command;
 use spfail::smtp::reply::Reply;
 use spfail::spf::expand::{
@@ -12,84 +17,146 @@ use spfail::spf::expand::{
 };
 use spfail::spf::macrostring::{MacroString, MacroTransform};
 use spfail::spf::record::SpfRecord;
+use spfail::world::HostId;
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+const CASES: u64 = 64;
+
+/// One deterministic RNG per case, derived from the property's name.
+fn cases(property: &str) -> Vec<SimRng> {
+    let base = SimRng::new(0x5bf5_fa11).fork(property);
+    (0..CASES).map(|i| base.fork_idx("case", i)).collect()
+}
 
 // ---------------------------------------------------------------------------
 // Generators
 // ---------------------------------------------------------------------------
 
-fn arb_label() -> impl Strategy<Value = String> {
-    "[a-z0-9][a-z0-9-]{0,14}".prop_map(|s| s)
+const LABEL_START: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+const LABEL_REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-";
+
+/// A DNS label: `[a-z0-9][a-z0-9-]{0,14}`.
+fn gen_label(rng: &mut SimRng) -> String {
+    let mut out = String::new();
+    out.push(LABEL_START[rng.below(LABEL_START.len() as u64) as usize] as char);
+    for _ in 0..rng.below(15) {
+        out.push(LABEL_REST[rng.below(LABEL_REST.len() as u64) as usize] as char);
+    }
+    out
 }
 
-fn arb_name() -> impl Strategy<Value = Name> {
-    prop::collection::vec(arb_label(), 0..6)
-        .prop_filter_map("name too long", |labels| Name::from_labels(labels).ok())
+/// A name of 0..6 labels that satisfies the length limits.
+fn gen_name(rng: &mut SimRng) -> Name {
+    loop {
+        let labels: Vec<String> = (0..rng.below(6)).map(|_| gen_label(rng)).collect();
+        if let Ok(name) = Name::from_labels(labels) {
+            return name;
+        }
+    }
 }
 
-fn arb_rdata() -> impl Strategy<Value = RData> {
-    prop_oneof![
-        any::<[u8; 4]>().prop_map(|o| RData::A(o.into())),
-        any::<[u8; 16]>().prop_map(|o| RData::Aaaa(o.into())),
-        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
-            preference,
-            exchange
-        }),
-        "[ -~]{0,300}".prop_map(|s| RData::txt(&s)),
-        arb_name().prop_map(RData::Ns),
-        arb_name().prop_map(RData::Cname),
-        arb_name().prop_map(RData::Ptr),
-    ]
+/// A printable-ASCII string of up to `max` characters.
+fn gen_printable(rng: &mut SimRng, max: u64) -> String {
+    (0..rng.below(max + 1))
+        .map(|_| (b' ' + rng.below(95) as u8) as char)
+        .collect()
 }
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), any::<u32>(), arb_rdata())
-        .prop_map(|(name, ttl, rdata)| Record::new(name, ttl, rdata))
+fn gen_bytes(rng: &mut SimRng, max: u64) -> Vec<u8> {
+    (0..rng.below(max + 1))
+        .map(|_| rng.below(256) as u8)
+        .collect()
+}
+
+fn gen_rdata(rng: &mut SimRng) -> RData {
+    match rng.below(7) {
+        0 => {
+            let octets = [
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+                rng.below(256) as u8,
+            ];
+            RData::A(octets.into())
+        }
+        1 => {
+            let mut octets = [0u8; 16];
+            for b in &mut octets {
+                *b = rng.below(256) as u8;
+            }
+            RData::Aaaa(octets.into())
+        }
+        2 => RData::Mx {
+            preference: rng.below(u64::from(u16::MAX) + 1) as u16,
+            exchange: gen_name(rng),
+        },
+        3 => RData::txt(&gen_printable(rng, 300)),
+        4 => RData::Ns(gen_name(rng)),
+        5 => RData::Cname(gen_name(rng)),
+        _ => RData::Ptr(gen_name(rng)),
+    }
+}
+
+fn gen_record(rng: &mut SimRng) -> Record {
+    Record::new(gen_name(rng), rng.below(1 << 32) as u32, gen_rdata(rng))
 }
 
 // ---------------------------------------------------------------------------
 // DNS wire format
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// encode → decode is the identity for any well-formed message.
-    #[test]
-    fn wire_round_trip(
-        id in any::<u16>(),
-        qname in arb_name(),
-        answers in prop::collection::vec(arb_record(), 0..6),
-    ) {
+/// encode → decode is the identity for any well-formed message.
+#[test]
+fn wire_round_trip() {
+    for mut rng in cases("wire_round_trip") {
+        let id = rng.below(u64::from(u16::MAX) + 1) as u16;
+        let qname = gen_name(&mut rng);
+        let answers: Vec<Record> = (0..rng.below(6)).map(|_| gen_record(&mut rng)).collect();
         let mut message = Message::query(id, qname, RecordType::TXT);
         message.answers = answers;
         let encoded = wire::encode(&message);
         let decoded = wire::decode(&encoded).expect("well-formed messages decode");
-        prop_assert_eq!(&decoded, &message);
+        assert_eq!(decoded, message);
         // Compression must never change the decoded meaning.
         let plain = wire::encode_uncompressed(&message);
-        prop_assert_eq!(wire::decode(&plain).expect("decodes"), message);
-        prop_assert!(encoded.len() <= plain.len());
+        assert_eq!(wire::decode(&plain).expect("decodes"), message);
+        assert!(encoded.len() <= plain.len());
     }
+}
 
-    /// The decoder never panics on arbitrary bytes.
-    #[test]
-    fn wire_decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+/// The decoder never panics on arbitrary bytes.
+#[test]
+fn wire_decode_never_panics() {
+    for mut rng in cases("wire_decode_never_panics") {
+        let bytes = gen_bytes(&mut rng, 200);
         let _ = wire::decode(&bytes);
     }
+}
 
-    /// Name parsing accepts what it produces.
-    #[test]
-    fn name_display_parse_round_trip(name in arb_name()) {
+/// Name parsing accepts what it produces.
+#[test]
+fn name_display_parse_round_trip() {
+    for mut rng in cases("name_display_parse_round_trip") {
+        let name = gen_name(&mut rng);
         let text = name.to_ascii();
         let reparsed = Name::parse(&text).expect("display form parses");
-        prop_assert_eq!(reparsed, name);
+        assert_eq!(reparsed, name);
     }
+}
 
-    /// Subdomain relations are consistent with concatenation.
-    #[test]
-    fn concat_makes_subdomains(prefix in arb_label(), base in arb_name()) {
+/// Subdomain relations are consistent with concatenation.
+#[test]
+fn concat_makes_subdomains() {
+    for mut rng in cases("concat_makes_subdomains") {
+        let prefix = gen_label(&mut rng);
+        let base = gen_name(&mut rng);
         if let Ok(child) = base.child(&prefix) {
-            prop_assert!(child.is_subdomain_of(&base));
-            prop_assert_eq!(child.parent(), base.clone());
-            prop_assert_eq!(
+            assert!(child.is_subdomain_of(&base));
+            assert_eq!(child.parent(), base);
+            assert_eq!(
                 child.strip_suffix(&base).expect("is a subdomain"),
                 vec![prefix]
             );
@@ -101,89 +168,119 @@ proptest! {
 // SPF macros and records
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// The macro parser never panics, on anything.
-    #[test]
-    fn macro_parse_never_panics(input in "[ -~]{0,60}") {
-        let _ = MacroString::parse(&input);
+/// The macro parser never panics, on anything.
+#[test]
+fn macro_parse_never_panics() {
+    for mut rng in cases("macro_parse_never_panics") {
+        let _ = MacroString::parse(&gen_printable(&mut rng, 60));
     }
+}
 
-    /// The record parser never panics, on anything.
-    #[test]
-    fn record_parse_never_panics(input in "[ -~]{0,120}") {
-        let _ = SpfRecord::parse(&input);
+/// The record parser never panics, on anything.
+#[test]
+fn record_parse_never_panics() {
+    for mut rng in cases("record_parse_never_panics") {
+        let _ = SpfRecord::parse(&gen_printable(&mut rng, 120));
     }
+}
 
-    /// Pure literal macro-strings expand to themselves.
-    #[test]
-    fn literal_expansion_is_identity(input in "[a-z0-9.-]{1,40}") {
+/// Pure literal macro-strings expand to themselves.
+#[test]
+fn literal_expansion_is_identity() {
+    const LITERAL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.-";
+    for mut rng in cases("literal_expansion_is_identity") {
+        let input: String = (0..rng.range(1, 41))
+            .map(|_| LITERAL[rng.below(LITERAL.len() as u64) as usize] as char)
+            .collect();
         let ms = MacroString::parse(&input).expect("literals parse");
         let ctx = MacroContext::new("u", "example.com", "192.0.2.1".parse().expect("ip"));
         let out = CompliantExpander.expand(&ms, &ctx, false).expect("expands");
-        prop_assert_eq!(out, input);
+        assert_eq!(out, input);
     }
+}
 
-    /// Reversing twice with full retention restores the label multiset
-    /// order.
-    #[test]
-    fn double_reverse_is_identity(labels in prop::collection::vec(arb_label(), 1..6)) {
+/// Reversing twice with full retention restores the label order.
+#[test]
+fn double_reverse_is_identity() {
+    for mut rng in cases("double_reverse_is_identity") {
+        let labels: Vec<String> = (0..rng.range(1, 6)).map(|_| gen_label(&mut rng)).collect();
         let value = labels.join(".");
-        let reverse = MacroTransform { digits: None, reverse: true, delimiters: vec![] };
+        let reverse = MacroTransform {
+            digits: None,
+            reverse: true,
+            delimiters: vec![],
+        };
         let once = apply_transform(&value, &reverse);
         let twice = apply_transform(&once, &reverse);
-        prop_assert_eq!(twice, value);
+        assert_eq!(twice, value);
     }
+}
 
-    /// Truncation keeps exactly min(n, len) labels — the *rightmost* ones.
-    #[test]
-    fn truncation_keeps_rightmost(
-        labels in prop::collection::vec(arb_label(), 1..8),
-        n in 1u32..10,
-    ) {
+/// Truncation keeps exactly min(n, len) labels — the *rightmost* ones.
+#[test]
+fn truncation_keeps_rightmost() {
+    for mut rng in cases("truncation_keeps_rightmost") {
+        let labels: Vec<String> = (0..rng.range(1, 8)).map(|_| gen_label(&mut rng)).collect();
+        let n = rng.range(1, 10) as u32;
         let value = labels.join(".");
-        let transform = MacroTransform { digits: Some(n), reverse: false, delimiters: vec![] };
+        let transform = MacroTransform {
+            digits: Some(n),
+            reverse: false,
+            delimiters: vec![],
+        };
         let out = apply_transform(&value, &transform);
         let kept: Vec<&str> = out.split('.').collect();
         let expected = labels.len().min(n as usize);
-        prop_assert_eq!(kept.len(), expected);
-        let last_label = labels.last().map(String::as_str);
-        prop_assert_eq!(kept.last().copied(), last_label);
+        assert_eq!(kept.len(), expected);
+        assert_eq!(kept.last().copied(), labels.last().map(String::as_str));
     }
+}
 
-    /// url_escape output contains only unreserved characters and percent
-    /// escapes, and is decodable back to the input.
-    #[test]
-    fn url_escape_is_reversible(input in "[ -~]{0,40}") {
+/// url_escape output contains only unreserved characters and percent
+/// escapes, and is decodable back to the input.
+#[test]
+fn url_escape_is_reversible() {
+    for mut rng in cases("url_escape_is_reversible") {
+        let input = gen_printable(&mut rng, 40);
         let escaped = url_escape(&input);
-        // Alphabet check.
-        let mut chars = escaped.chars().peekable();
+        let mut chars = escaped.chars();
         let mut decoded = Vec::new();
         while let Some(c) = chars.next() {
             if c == '%' {
                 let hi = chars.next().expect("two hex digits follow %");
                 let lo = chars.next().expect("two hex digits follow %");
-                decoded.push(
-                    u8::from_str_radix(&format!("{hi}{lo}"), 16).expect("valid hex"),
-                );
+                decoded
+                    .push(u8::from_str_radix(&format!("{hi}{lo}"), 16).expect("valid hex"));
             } else {
-                prop_assert!(c.is_ascii_alphanumeric() || "-._~".contains(c));
+                assert!(c.is_ascii_alphanumeric() || "-._~".contains(c));
                 decoded.push(c as u8);
             }
         }
-        prop_assert_eq!(String::from_utf8(decoded).expect("ascii"), input);
+        assert_eq!(String::from_utf8(decoded).expect("ascii"), input);
     }
+}
 
-    /// The vulnerable expander is benign (no heap corruption) whenever no
-    /// URL escaping is requested — the property the whole measurement
-    /// methodology rests on.
-    #[test]
-    fn vulnerable_expander_is_benign_without_url_escape(
-        local in "[a-z0-9]{1,12}",
-        domain_labels in prop::collection::vec(arb_label(), 1..6),
-        digits in prop::option::of(1u32..5),
-        reverse in any::<bool>(),
-    ) {
-        let domain = domain_labels.join(".");
+/// The vulnerable expander is benign (no heap corruption) whenever no
+/// URL escaping is requested — the property the whole measurement
+/// methodology rests on.
+#[test]
+fn vulnerable_expander_is_benign_without_url_escape() {
+    for mut rng in cases("vulnerable_expander_is_benign_without_url_escape") {
+        let local = {
+            let len = rng.range(1, 13) as usize;
+            rng.alnum_label(len)
+        };
+        let domain: String = {
+            let labels: Vec<String> =
+                (0..rng.range(1, 6)).map(|_| gen_label(&mut rng)).collect();
+            labels.join(".")
+        };
+        let digits = if rng.chance(0.5) {
+            Some(rng.range(1, 5) as u32)
+        } else {
+            None
+        };
+        let reverse = rng.chance(0.5);
         let macro_text = match (digits, reverse) {
             (Some(n), true) => format!("%{{d{n}r}}"),
             (Some(n), false) => format!("%{{d{n}}}"),
@@ -194,23 +291,24 @@ proptest! {
         let ctx = MacroContext::new(&local, &domain, "192.0.2.1".parse().expect("ip"));
         let mut expander = LibSpf2Expander::vulnerable();
         let _ = expander.expand(&ms, &ctx, false).expect("expansion succeeds");
-        prop_assert!(
+        assert!(
             !expander.heap().corrupted(),
             "lowercase macros must never corrupt memory"
         );
     }
+}
 
-    /// Heap overruns are always bounded by the configured cap.
-    #[test]
-    fn overruns_are_bounded(
-        domain_labels in prop::collection::vec(arb_label(), 2..8),
-    ) {
-        let domain = domain_labels.join(".");
+/// Heap overruns are always bounded by the configured cap.
+#[test]
+fn overruns_are_bounded() {
+    for mut rng in cases("overruns_are_bounded") {
+        let labels: Vec<String> = (0..rng.range(2, 8)).map(|_| gen_label(&mut rng)).collect();
+        let domain = labels.join(".");
         let ms = MacroString::parse("%{D1R}").expect("valid macro");
         let ctx = MacroContext::new("u", &domain, "192.0.2.1".parse().expect("ip"));
         let mut expander = LibSpf2Expander::vulnerable();
         let _ = expander.expand(&ms, &ctx, false).expect("expansion succeeds");
-        prop_assert!(expander.heap().max_overrun() <= 100);
+        assert!(expander.heap().max_overrun() <= 100);
     }
 }
 
@@ -218,45 +316,53 @@ proptest! {
 // Zone files
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// render → parse is the identity on zones (modulo record order).
-    #[test]
-    fn zonefile_round_trip(
-        origin in arb_name().prop_filter("origin must be non-root", |n| !n.is_root()),
-        records in prop::collection::vec((arb_label(), arb_rdata()), 0..8),
-    ) {
-        use spfail::dns::{parse_zone, render_zone, ZoneBuilder};
+/// render → parse is the identity on zones (modulo record order).
+#[test]
+fn zonefile_round_trip() {
+    use spfail::dns::{parse_zone, render_zone, Zone, ZoneBuilder};
+    for mut rng in cases("zonefile_round_trip") {
+        let origin = loop {
+            let name = gen_name(&mut rng);
+            if !name.is_root() {
+                break name;
+            }
+        };
         let mut builder = ZoneBuilder::new(origin.clone());
-        let mut skipped = 0;
-        for (label, rdata) in records {
-            // TXT strings from arb_rdata may contain characters the text
-            // format cannot round-trip byte-exactly after tokenisation
-            // (backslashes, semicolons inside quotes are fine; control
-            // chars are not generated). Owner must fit under the origin.
-            match origin.child(&label) {
-                Ok(owner) => {
-                    builder = builder.record(spfail::dns::Record::new(owner, 300, rdata));
-                }
-                Err(_) => skipped += 1,
+        for _ in 0..rng.below(8) {
+            let label = gen_label(&mut rng);
+            let rdata = gen_rdata(&mut rng);
+            // Owner must fit under the origin; overlong ones are skipped.
+            if let Ok(owner) = origin.child(&label) {
+                builder = builder.record(Record::new(owner, 300, rdata));
             }
         }
         let zone = builder.build();
         let rendered = render_zone(&zone);
         let reparsed = parse_zone(&rendered).expect("rendered zones parse");
-        prop_assert_eq!(reparsed.origin(), zone.origin());
-        let canonical = |z: &spfail::dns::Zone| {
+        assert_eq!(reparsed.origin(), zone.origin());
+        let canonical = |z: &Zone| {
             let mut rows: Vec<String> = z.records().map(|r| r.to_string()).collect();
             rows.sort();
             rows
         };
-        prop_assert_eq!(canonical(&reparsed), canonical(&zone));
-        let _ = skipped;
+        assert_eq!(canonical(&reparsed), canonical(&zone));
     }
+}
 
-    /// The zone-file parser never panics on arbitrary printable text.
-    #[test]
-    fn zonefile_parse_never_panics(input in "[ -~\n]{0,300}") {
-        use spfail::dns::parse_zone;
+/// The zone-file parser never panics on arbitrary printable text.
+#[test]
+fn zonefile_parse_never_panics() {
+    use spfail::dns::parse_zone;
+    for mut rng in cases("zonefile_parse_never_panics") {
+        let input: String = (0..rng.below(301))
+            .map(|_| {
+                if rng.chance(0.05) {
+                    '\n'
+                } else {
+                    (b' ' + rng.below(95) as u8) as char
+                }
+            })
+            .collect();
         let _ = parse_zone(&input);
     }
 }
@@ -265,34 +371,47 @@ proptest! {
 // SMTP
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Command render/parse round-trips for addresses the generator emits.
-    #[test]
-    fn command_round_trip(local in "[a-z0-9]{1,10}", domain_labels in prop::collection::vec(arb_label(), 1..4)) {
-        let address = spfail::smtp::address::EmailAddress::new(
-            &local,
-            &domain_labels.join("."),
-        ).expect("valid address");
+/// Command render/parse round-trips for addresses the generator emits.
+#[test]
+fn command_round_trip() {
+    for mut rng in cases("command_round_trip") {
+        let local = {
+            let len = rng.range(1, 11) as usize;
+            rng.alnum_label(len)
+        };
+        let domain: String = {
+            let labels: Vec<String> =
+                (0..rng.range(1, 4)).map(|_| gen_label(&mut rng)).collect();
+            labels.join(".")
+        };
+        let address =
+            spfail::smtp::address::EmailAddress::new(&local, &domain).expect("valid address");
         for command in [
             Command::MailFrom(address.clone()),
-            Command::RcptTo(address),
+            Command::RcptTo(address.clone()),
             Command::Ehlo("probe.test".into()),
         ] {
-            prop_assert_eq!(Command::parse(&command.to_line()), Some(command));
+            assert_eq!(Command::parse(&command.to_line()), Some(command));
         }
     }
+}
 
-    /// Reply wire round-trip for arbitrary codes and simple texts.
-    #[test]
-    fn reply_round_trip(code in 200u16..600, text in "[ -~&&[^\r\n]]{0,40}") {
+/// Reply wire round-trip for arbitrary codes and simple texts.
+#[test]
+fn reply_round_trip() {
+    for mut rng in cases("reply_round_trip") {
+        let code = rng.range(200, 600) as u16;
+        let text = gen_printable(&mut rng, 40);
         let reply = Reply::new(code, &text);
-        prop_assert_eq!(Reply::parse(&reply.to_wire()), Some(reply));
+        assert_eq!(Reply::parse(&reply.to_wire()), Some(reply));
     }
+}
 
-    /// The command parser never panics.
-    #[test]
-    fn command_parse_never_panics(line in "[ -~]{0,80}") {
-        let _ = Command::parse(&line);
+/// The command parser never panics.
+#[test]
+fn command_parse_never_panics() {
+    for mut rng in cases("command_parse_never_panics") {
+        let _ = Command::parse(&gen_printable(&mut rng, 80));
     }
 }
 
@@ -300,11 +419,11 @@ proptest! {
 // Simulation substrate
 // ---------------------------------------------------------------------------
 
-proptest! {
-    /// Event queues pop in non-decreasing time order regardless of push
-    /// order.
-    #[test]
-    fn event_queue_orders(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
+/// Event queues pop in non-decreasing time order regardless of push order.
+#[test]
+fn event_queue_orders() {
+    for mut rng in cases("event_queue_orders") {
+        let times: Vec<u64> = (0..rng.range(1, 100)).map(|_| rng.below(1_000_000)).collect();
         let mut queue = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             queue.push(SimTime::from_micros(t), i);
@@ -312,42 +431,136 @@ proptest! {
         let mut last = SimTime::EPOCH;
         let mut count = 0;
         while let Some((at, _)) = queue.pop() {
-            prop_assert!(at >= last);
+            assert!(at >= last);
             last = at;
             count += 1;
         }
-        prop_assert_eq!(count, times.len());
+        assert_eq!(count, times.len());
     }
+}
 
-    /// Forked RNG streams are reproducible.
-    #[test]
-    fn rng_forks_reproducible(seed in any::<u64>(), label in "[a-z]{1,10}") {
-        use rand::RngCore;
+/// Forked RNG streams are reproducible.
+#[test]
+fn rng_forks_reproducible() {
+    use rand::RngCore;
+    for mut rng in cases("rng_forks_reproducible") {
+        let seed = rng.below(u64::MAX);
+        let label = {
+            let len = rng.range(1, 11) as usize;
+            rng.alnum_label(len)
+        };
         let parent = SimRng::new(seed);
         let mut a = parent.fork(&label);
         let mut b = parent.fork(&label);
         for _ in 0..8 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    /// MemSim never lets an out-of-bounds write corrupt in-bounds data.
-    #[test]
-    fn memsim_containment(
-        size in 1usize..64,
-        writes in prop::collection::vec((0usize..128, any::<u8>()), 0..64),
-    ) {
+/// MemSim never lets an out-of-bounds write corrupt in-bounds data.
+#[test]
+fn memsim_containment() {
+    for mut rng in cases("memsim_containment") {
+        let size = rng.range(1, 64) as usize;
         let mut mem = MemSim::new();
         let id = mem.alloc(size);
         let mut shadow = vec![0u8; size];
-        for (offset, value) in writes {
+        for _ in 0..rng.below(64) {
+            let offset = rng.below(128) as usize;
+            let value = rng.below(256) as u8;
             mem.write(id, offset, value);
             if offset < size {
                 shadow[offset] = value;
             }
         }
-        prop_assert_eq!(mem.read(id), shadow.as_slice());
-        let in_bounds_only = mem.overflow_events().iter().all(|e| e.offset >= size);
-        prop_assert!(in_bounds_only);
+        assert_eq!(mem.read(id), shadow.as_slice());
+        assert!(mem.overflow_events().iter().all(|e| e.offset >= size));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign sharding
+// ---------------------------------------------------------------------------
+
+/// Every host lands in exactly one shard, and the partition covers the
+/// input exactly (no drops, no duplicates) for any shard count.
+#[test]
+fn partition_covers_every_host_exactly_once() {
+    for mut rng in cases("partition_covers_every_host_exactly_once") {
+        let hosts: Vec<HostId> = {
+            let count = rng.below(200);
+            let mut ids: Vec<u32> = (0..count).map(|_| rng.below(10_000) as u32).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.into_iter().map(HostId).collect()
+        };
+        let shards = rng.range(1, 17) as usize;
+        let parts = partition_hosts(&hosts, shards);
+        assert_eq!(parts.len(), shards);
+        let mut seen: Vec<HostId> = parts.iter().flatten().copied().collect();
+        seen.sort();
+        assert_eq!(seen, hosts, "partition must cover the input exactly");
+        for (index, part) in parts.iter().enumerate() {
+            for &host in part {
+                assert_eq!(shard_of(host, shards), index);
+            }
+        }
+    }
+}
+
+/// Merging disjoint shard result maps is order-independent: the merged
+/// map is the same whatever order the shards are folded in.
+#[test]
+fn shard_merge_is_order_independent() {
+    use std::collections::HashMap;
+    for mut rng in cases("shard_merge_is_order_independent") {
+        let hosts: Vec<HostId> = (0..rng.range(1, 120)).map(|h| HostId(h as u32)).collect();
+        let shards = rng.range(1, 9) as usize;
+        let parts = partition_hosts(&hosts, shards);
+        // Each shard computes a per-host value (any deterministic
+        // function of the host stands in for a probe outcome).
+        let shard_maps: Vec<HashMap<HostId, u64>> = parts
+            .iter()
+            .map(|part| part.iter().map(|&h| (h, u64::from(h.0) * 31)).collect())
+            .collect();
+        let merge = |order: &[usize]| -> Vec<(HostId, u64)> {
+            let mut merged = HashMap::new();
+            for &i in order {
+                merged.extend(shard_maps[i].iter().map(|(&h, &v)| (h, v)));
+            }
+            let mut rows: Vec<(HostId, u64)> = merged.into_iter().collect();
+            rows.sort();
+            rows
+        };
+        let forward: Vec<usize> = (0..shards).collect();
+        let mut shuffled = forward.clone();
+        rng.shuffle(&mut shuffled);
+        assert_eq!(merge(&forward), merge(&shuffled));
+    }
+}
+
+/// Per-shard derived RNG streams never collide: distinct shard indices
+/// always yield observably different streams.
+#[test]
+fn derived_shard_rng_streams_are_distinct() {
+    use rand::RngCore;
+    for mut rng in cases("derived_shard_rng_streams_are_distinct") {
+        let seed = rng.below(u64::MAX);
+        let parent = SimRng::new(seed);
+        let prefixes: Vec<Vec<u64>> = (0..16)
+            .map(|i| {
+                let mut stream = parent.fork_idx("shard", i);
+                (0..8).map(|_| stream.next_u64()).collect()
+            })
+            .collect();
+        for i in 0..prefixes.len() {
+            for j in (i + 1)..prefixes.len() {
+                assert_ne!(
+                    prefixes[i], prefixes[j],
+                    "shards {i} and {j} drew identical streams"
+                );
+            }
+        }
     }
 }

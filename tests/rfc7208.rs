@@ -210,6 +210,122 @@ fn include_with_macro_domain() {
     assert_eq!(check(&mut zone, "198.51.100.1"), SpfResult::Fail);
 }
 
+#[test]
+fn exists_with_plain_ip_macro() {
+    // %{i} expands to the client IP in its natural (unreversed) form.
+    let mut zone = Zone::rfc_appendix_a()
+        .with_policy("v=spf1 exists:%{i}.allowed.example.com -all");
+    zone.add(
+        "192.0.2.65.allowed.example.com",
+        RData::A("127.0.0.2".parse().expect("ip")),
+    );
+    assert_eq!(check(&mut zone, "192.0.2.65"), SpfResult::Pass);
+    assert_eq!(check(&mut zone, "192.0.2.66"), SpfResult::Fail);
+}
+
+#[test]
+fn validated_domain_macro_expands_to_unknown() {
+    // §7.3 discourages %{p}; the compliant expander never performs the
+    // PTR dance and substitutes the literal "unknown" instead, exactly
+    // as the RFC allows for an unresolved validated domain.
+    let mut zone = Zone::rfc_appendix_a()
+        .with_policy("v=spf1 exists:%{p}._pvalid.example.com -all");
+    zone.add(
+        "unknown._pvalid.example.com",
+        RData::A("127.0.0.2".parse().expect("ip")),
+    );
+    assert_eq!(check(&mut zone, "192.0.2.65"), SpfResult::Pass);
+
+    // Without the "unknown" marker record the mechanism never matches.
+    let mut zone = Zone::rfc_appendix_a()
+        .with_policy("v=spf1 exists:%{p}._pvalid.example.com -all");
+    assert_eq!(check(&mut zone, "192.0.2.65"), SpfResult::Fail);
+}
+
+// --- ptr mechanism (§5.5, Appendix A.1 "v=spf1 ptr -all") ---------------------
+
+#[test]
+fn ptr_matches_with_forward_confirmation() {
+    // "v=spf1 ptr -all": mail-a's reverse record names a host inside
+    // example.com, and mail-a's A record confirms the claim.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 ptr -all");
+    zone.add(
+        "129.2.0.192.in-addr.arpa",
+        RData::Ptr(Name::parse("mail-a.example.com").expect("valid")),
+    );
+    assert_eq!(check(&mut zone, "192.0.2.129"), SpfResult::Pass);
+    // A client with no reverse mapping at all cannot match.
+    assert_eq!(check(&mut zone, "192.0.2.130"), SpfResult::Fail);
+}
+
+#[test]
+fn spoofed_ptr_without_forward_record_fails() {
+    // An attacker controls their own reverse zone and claims to be
+    // amy.example.com — but amy's A record points elsewhere, so the
+    // forward-confirmation step rejects the claim.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 ptr -all");
+    zone.add(
+        "1.113.0.203.in-addr.arpa",
+        RData::Ptr(Name::parse("amy.example.com").expect("valid")),
+    );
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::Fail);
+}
+
+#[test]
+fn confirmed_ptr_outside_target_domain_fails() {
+    // mail-c.example.org reverse-maps and forward-confirms correctly,
+    // but it is not a subdomain of example.com, so "ptr" must not match.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 ptr -all");
+    zone.add(
+        "140.2.0.192.in-addr.arpa",
+        RData::Ptr(Name::parse("mail-c.example.org").expect("valid")),
+    );
+    assert_eq!(check(&mut zone, "192.0.2.140"), SpfResult::Fail);
+}
+
+// --- include terms and the lookup limit (§4.6.4) -------------------------------
+
+#[test]
+fn includes_count_against_the_lookup_limit() {
+    // Each include is a DNS-querying term. Ten non-matching includes
+    // followed by +all still pass...
+    let mk = |n: usize| -> Zone {
+        let terms: Vec<String> =
+            (0..n).map(|i| format!("include:_s{i}.example.com")).collect();
+        let mut zone = Zone::rfc_appendix_a()
+            .with_policy(&format!("v=spf1 {} +all", terms.join(" ")));
+        for i in 0..n {
+            zone.add(&format!("_s{i}.example.com"), RData::txt("v=spf1 ?all"));
+        }
+        zone
+    };
+    assert_eq!(check(&mut mk(10), "203.0.113.1"), SpfResult::Pass);
+    // ... the eleventh include trips the §4.6.4 ceiling.
+    assert_eq!(check(&mut mk(11), "203.0.113.1"), SpfResult::PermError);
+}
+
+#[test]
+fn nested_includes_share_the_global_limit() {
+    // A chain of includes nested one inside the next draws from the
+    // same global budget as a flat list.
+    let mk = |depth: usize| -> Zone {
+        let mut zone =
+            Zone::rfc_appendix_a().with_policy("v=spf1 include:_n0.example.com +all");
+        for i in 0..depth - 1 {
+            zone.add(
+                &format!("_n{i}.example.com"),
+                RData::txt(&format!("v=spf1 include:_n{}.example.com ?all", i + 1)),
+            );
+        }
+        zone.add(&format!("_n{}.example.com", depth - 1), RData::txt("v=spf1 ?all"));
+        zone
+    };
+    // Ten chained includes in total: the budget is exactly spent.
+    assert_eq!(check(&mut mk(10), "203.0.113.1"), SpfResult::Pass);
+    // An eleventh link exhausts it mid-chain.
+    assert_eq!(check(&mut mk(11), "203.0.113.1"), SpfResult::PermError);
+}
+
 // --- Multiple / malformed records (§3.2, §4.5) --------------------------------
 
 #[test]

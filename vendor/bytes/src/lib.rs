@@ -1,0 +1,145 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`BytesMut`] as a growable byte buffer plus the [`Buf`] /
+//! [`BufMut`] trait methods the DNS wire codec uses. All reads are
+//! big-endian, matching the network byte order of RFC 1035.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Deref, DerefMut};
+
+/// Read access to a byte cursor; implemented for `&[u8]`, which advances
+/// the slice itself as bytes are consumed.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Consume a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, tail) = self.split_at(1);
+        *self = tail;
+        head[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let (head, tail) = self.split_at(2);
+        *self = tail;
+        u16::from_be_bytes([head[0], head[1]])
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_be_bytes([head[0], head[1], head[2], head[3]])
+    }
+}
+
+/// Append access to a byte buffer.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+/// A growable byte buffer. Dereferences to `[u8]` for indexing and
+/// in-place patching (e.g. back-filling length fields).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The buffer contents as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_get_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(0xAB);
+        buf.put_u16(0x1234);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_slice(b"xy");
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.remaining(), 9);
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u16(), 0x1234);
+        assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(cursor, b"xy");
+    }
+
+    #[test]
+    fn deref_allows_in_place_patching() {
+        let mut buf = BytesMut::new();
+        buf.put_u16(0);
+        buf.put_u8(7);
+        buf[0..2].copy_from_slice(&9u16.to_be_bytes());
+        assert_eq!(buf.to_vec(), vec![0, 9, 7]);
+        assert_eq!(buf.len(), 3);
+    }
+}

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use — `Criterion`, `benchmark_group`, `Bencher::iter`,
+//! `black_box`, and the `criterion_group!` / `criterion_main!` macros —
+//! on top of a plain wall-clock measurement loop. Statistical analysis
+//! is reduced to median-of-samples, which is enough to compare the
+//! relative throughput numbers the benches exist to demonstrate.
+//!
+//! Set `SPFAIL_BENCH_FAST=1` to shrink warm-up and sampling for smoke
+//! runs (e.g. CI or `cargo test --benches`).
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+fn fast_mode() -> bool {
+    std::env::var_os("SPFAIL_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+/// Drives the measurement loop for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(sample_count: usize) -> Bencher {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count,
+        }
+    }
+
+    /// Measure `routine` repeatedly. The number of iterations per sample
+    /// is calibrated from a warm-up pass so each sample is long enough
+    /// to time reliably but the whole benchmark stays fast.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up: also determines how many iterations fit in ~5ms.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let single = warmup_start.elapsed();
+        let target = Duration::from_millis(if fast_mode() { 1 } else { 5 });
+        self.iters_per_sample = if single >= target {
+            1
+        } else {
+            let single_nanos = single.as_nanos().max(1);
+            (target.as_nanos() / single_nanos).clamp(1, 1_000_000) as u64
+        };
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Median time per iteration across samples.
+    fn median_per_iter(&self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        sorted[sorted.len() / 2] / self.iters_per_sample.max(1) as u32
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark registry; one per `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            default_sample_size: if fast_mode() { 3 } else { 20 },
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for CLI compatibility; arguments are ignored.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Run a single benchmark and print its median time.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.default_sample_size, f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = if fast_mode() { n.min(3) } else { n.max(2) };
+        self
+    }
+
+    /// Override the target measurement time. Accepted for API
+    /// compatibility; the stand-in's sampling is already time-bounded.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), self.sample_size, f);
+        self
+    }
+
+    /// Finish the group. No summary output beyond the per-bench lines.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_count: usize, mut f: F) {
+    let mut bencher = Bencher::new(sample_count);
+    f(&mut bencher);
+    println!(
+        "{label:<50} time: [{}] ({} samples x {} iters)",
+        format_duration(bencher.median_per_iter()),
+        bencher.samples.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// Collect benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(4);
+        b.iter(|| black_box(2u64).wrapping_mul(3));
+        assert_eq!(b.samples.len(), 4);
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn median_scales_by_iteration_count() {
+        let mut b = Bencher::new(3);
+        b.samples = vec![
+            Duration::from_nanos(100),
+            Duration::from_nanos(300),
+            Duration::from_nanos(200),
+        ];
+        b.iters_per_sample = 2;
+        assert_eq!(b.median_per_iter(), Duration::from_nanos(100));
+    }
+
+    #[test]
+    fn duration_formatting_covers_magnitudes() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

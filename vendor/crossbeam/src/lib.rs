@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). The API mirrors
+//! crossbeam 0.8: the scope closure receives a `&Scope`, `spawn` passes
+//! the scope back into the thread body, and `join` returns a `Result`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads.
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// A handle for spawning threads that may borrow from the caller's
+    /// stack frame.
+    pub struct Scope<'env, 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish; `Err` carries the panic payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'env, 'scope> Scope<'env, 'scope> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'env, 'scope>) -> T + Send + 'scope,
+            T: Send + 'scope,
+            'env: 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned.
+    /// All spawned threads are joined before `scope` returns. Unlike
+    /// crossbeam the result is infallible (panics propagate), but the
+    /// `Result` wrapper is kept for call-site compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'env, 'scope>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = super::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum::<u64>()
+        })
+        .expect("scope completes");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().expect("no panic"))
+                .join()
+                .expect("no panic")
+        })
+        .expect("scope completes");
+        assert_eq!(n, 7);
+    }
+}
