@@ -17,7 +17,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
-use spfail_prober::Campaign;
+use spfail_prober::CampaignBuilder;
 use spfail_world::{World, WorldConfig};
 
 fn bench_world() -> World {
@@ -31,24 +31,33 @@ fn scaling_wall_clock(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_wall_clock");
     group.sample_size(10);
     group.bench_function("sequential", |b| {
-        b.iter(|| Campaign::run(black_box(&bench_world())))
+        b.iter(|| CampaignBuilder::new().run(black_box(&bench_world())))
     });
     for shards in [1usize, 4] {
         group.bench_function(&format!("sharded_{shards}"), |b| {
-            b.iter(|| Campaign::run_sharded(black_box(&bench_world()), shards))
+            b.iter(|| CampaignBuilder::new().shards(shards).run(black_box(&bench_world())))
         });
     }
     group.finish();
 }
 
 fn scaling_simulated_makespan(_c: &mut Criterion) {
-    let (_, sequential) = Campaign::run_timed(&bench_world());
+    let sequential = CampaignBuilder::new()
+        .timed()
+        .run(&bench_world())
+        .timing
+        .expect("timed run");
     let baseline = sequential.total();
     eprintln!("campaign_sim_makespan: sequential: {baseline}");
 
     let mut speedup_at_4 = 0.0;
     for shards in [1usize, 2, 4, 8] {
-        let (_, timing) = Campaign::run_sharded_timed(&bench_world(), shards);
+        let timing = CampaignBuilder::new()
+            .shards(shards)
+            .timed()
+            .run(&bench_world())
+            .timing
+            .expect("timed run");
         let makespan = timing.total();
         let speedup = baseline.as_secs_f64() / makespan.as_secs_f64();
         eprintln!(

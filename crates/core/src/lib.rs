@@ -65,6 +65,13 @@ pub use spfail_smtp as smtp;
 pub use spfail_spf as spf;
 pub use spfail_world as world;
 
+/// The stack-wide probe-failure vocabulary (re-exported from
+/// [`netsim`]): every layer — the resolver, the SMTP client, the
+/// prober — reports failures in this one enum, and
+/// [`ProbeError::is_transient`] is the single source of truth for what
+/// a retry policy may answer.
+pub use spfail_netsim::ProbeError;
+
 /// The two CVE identifiers this reproduction models.
 pub const CVES: [&str; 2] = ["CVE-2021-33912", "CVE-2021-33913"];
 

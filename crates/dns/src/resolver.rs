@@ -130,6 +130,18 @@ impl fmt::Display for LookupError {
 
 impl std::error::Error for LookupError {}
 
+impl From<&LookupError> for spfail_netsim::ProbeError {
+    fn from(err: &LookupError) -> spfail_netsim::ProbeError {
+        match err {
+            LookupError::NoAuthority(_) | LookupError::CnameChainTooLong => {
+                spfail_netsim::ProbeError::DnsLame
+            }
+            LookupError::Timeout => spfail_netsim::ProbeError::DnsTimeout,
+            LookupError::ServFail(_) => spfail_netsim::ProbeError::DnsServFail,
+        }
+    }
+}
+
 /// Resolver tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ResolverConfig {
@@ -278,25 +290,43 @@ impl Resolver {
         let query = Message::query(id, name.clone(), rtype);
 
         let mut attempts = 0;
+        let mut forced_tc = false;
         let response = loop {
             attempts += 1;
             self.metrics.inc_dns_queries();
             let obs = self
                 .link
                 .datagram(rng, estimate_query_size(name), self.config.query_timeout);
-            if obs.is_ok() {
-                break authority.answer(&query, self.client, self.link.clock().now());
-            }
-            if attempts > self.config.retries {
-                return Err(LookupError::Timeout);
+            match obs {
+                spfail_netsim::LinkObservation::Ok => {
+                    break authority.answer(&query, self.client, self.link.clock().now());
+                }
+                // An injected SERVFAIL is an answer: no retry recovers it
+                // within this lookup.
+                spfail_netsim::LinkObservation::ServFail => {
+                    return Err(LookupError::ServFail(Rcode::ServFail));
+                }
+                // An injected TC bit: take the real answer, but only via
+                // the TCP fallback below.
+                spfail_netsim::LinkObservation::Truncated => {
+                    forced_tc = true;
+                    break authority.answer(&query, self.client, self.link.clock().now());
+                }
+                _ => {
+                    if attempts > self.config.retries {
+                        self.metrics.inc_dns_timeouts();
+                        return Err(LookupError::Timeout);
+                    }
+                }
             }
         };
 
         // RFC 1035 §4.2.1: responses that do not fit the UDP payload come
         // back truncated (TC) and the client retries over TCP — an extra
-        // connection's worth of round trips, charged to the link.
+        // connection's worth of round trips, charged to the link. An
+        // injected truncation fault takes the same fallback.
         let wire_len = crate::wire::encode(&response).len();
-        if wire_len > self.config.max_udp_payload {
+        if forced_tc || wire_len > self.config.max_udp_payload {
             self.metrics.inc_dns_truncated();
             // TCP handshake + the re-sent query and full response.
             let _ = self.link.turn(rng, estimate_query_size(name));

@@ -75,8 +75,23 @@ impl Mta {
         rng: SimRng,
     ) -> Mta {
         let link = Link::ideal(clock.clone());
+        Mta::with_dns_link(config, ip, directory, link, clock, rng)
+    }
+
+    /// Build an MTA whose resolver queries over an explicit [`Link`] —
+    /// the fault-injection hook: the link's fault plan decides whether
+    /// the MTA's own DNS lookups time out, SERVFAIL, or truncate, and
+    /// its metrics handle receives the resulting counters.
+    pub fn with_dns_link(
+        config: MtaConfig,
+        ip: IpAddr,
+        directory: Directory,
+        dns_link: Link,
+        clock: SimClock,
+        rng: SimRng,
+    ) -> Mta {
         Mta {
-            resolver: Resolver::new(directory, link, ip),
+            resolver: Resolver::new(directory, dns_link, ip),
             config,
             rng,
             clock,

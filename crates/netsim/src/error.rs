@@ -1,0 +1,90 @@
+//! The one probe-failure vocabulary shared across the stack.
+//!
+//! The DNS resolver, the SMTP client, and the prober each conclude
+//! failures in their own layer's terms (`LookupError`, a transactional
+//! outcome, a refused connection). [`ProbeError`] is the common
+//! denominator the retry policy operates on: every layer's failure maps
+//! into it, and [`ProbeError::is_transient`] is the single contract
+//! deciding what a retry may recover.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a probe failed to produce a measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeError {
+    /// A DNS lookup exhausted its retries without an answer.
+    DnsTimeout,
+    /// A DNS lookup was answered with SERVFAIL.
+    DnsServFail,
+    /// No authority exists for the queried name (a lame delegation), or
+    /// the lookup failed structurally (e.g. a CNAME chain too long).
+    DnsLame,
+    /// The TCP connection was refused outright.
+    ConnectRefused,
+    /// The connection attempt (or the host's reachability window) timed
+    /// out.
+    ConnectTimeout,
+    /// The connection was reset mid-session.
+    ConnectionReset,
+    /// The server answered with a 4xx temporary failure.
+    SmtpTempFail(u16),
+    /// The server answered with a 5xx permanent rejection.
+    SmtpReject(u16),
+}
+
+impl ProbeError {
+    /// Whether a later retry could plausibly succeed. Permanent
+    /// rejections (refused connections, 5xx replies, lame delegations)
+    /// are final; everything else is weather.
+    pub fn is_transient(self) -> bool {
+        matches!(
+            self,
+            ProbeError::DnsTimeout
+                | ProbeError::DnsServFail
+                | ProbeError::ConnectTimeout
+                | ProbeError::ConnectionReset
+                | ProbeError::SmtpTempFail(_)
+        )
+    }
+}
+
+impl fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProbeError::DnsTimeout => write!(f, "DNS lookup timed out"),
+            ProbeError::DnsServFail => write!(f, "DNS lookup answered SERVFAIL"),
+            ProbeError::DnsLame => write!(f, "DNS delegation is lame or malformed"),
+            ProbeError::ConnectRefused => write!(f, "connection refused"),
+            ProbeError::ConnectTimeout => write!(f, "connection timed out"),
+            ProbeError::ConnectionReset => write!(f, "connection reset mid-session"),
+            ProbeError::SmtpTempFail(code) => write!(f, "SMTP temporary failure ({code})"),
+            ProbeError::SmtpReject(code) => write!(f, "SMTP rejection ({code})"),
+        }
+    }
+}
+
+impl Error for ProbeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_contract() {
+        assert!(ProbeError::DnsTimeout.is_transient());
+        assert!(ProbeError::DnsServFail.is_transient());
+        assert!(ProbeError::ConnectTimeout.is_transient());
+        assert!(ProbeError::ConnectionReset.is_transient());
+        assert!(ProbeError::SmtpTempFail(451).is_transient());
+        assert!(!ProbeError::DnsLame.is_transient());
+        assert!(!ProbeError::ConnectRefused.is_transient());
+        assert!(!ProbeError::SmtpReject(554).is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ProbeError::SmtpTempFail(451).to_string().contains("451"));
+        assert!(ProbeError::DnsTimeout.to_string().contains("timed out"));
+    }
+}

@@ -21,6 +21,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod event;
 pub mod fault;
 pub mod latency;
@@ -29,8 +30,9 @@ pub mod net;
 pub mod rng;
 pub mod time;
 
+pub use error::ProbeError;
 pub use event::EventQueue;
-pub use fault::{FaultOutcome, FaultPlan};
+pub use fault::{FaultOutcome, FaultPlan, FaultProfile, FlakyWindow};
 pub use latency::LatencyModel;
 pub use metrics::{Histogram, Metrics, MetricsSnapshot};
 pub use net::{Link, LinkObservation};

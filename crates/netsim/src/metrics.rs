@@ -24,6 +24,13 @@ struct MetricsInner {
     dns_queries: AtomicU64,
     dns_cache_hits: AtomicU64,
     dns_truncated: AtomicU64,
+    dns_timeouts: AtomicU64,
+    dns_servfails: AtomicU64,
+    smtp_tempfails: AtomicU64,
+    connection_resets: AtomicU64,
+    window_closed_probes: AtomicU64,
+    probe_retries: AtomicU64,
+    probes_recovered: AtomicU64,
 }
 
 macro_rules! counter {
@@ -79,6 +86,43 @@ impl Metrics {
         dns_truncated,
         "truncated DNS responses retried over TCP"
     );
+    counter!(
+        inc_dns_timeouts,
+        dns_timeouts,
+        dns_timeouts,
+        "DNS lookups that exhausted every retry and timed out"
+    );
+    counter!(
+        inc_dns_servfails,
+        dns_servfails,
+        dns_servfails,
+        "DNS queries answered with an injected SERVFAIL"
+    );
+    counter!(
+        inc_smtp_tempfails,
+        smtp_tempfails,
+        smtp_tempfails,
+        "SMTP sessions greeted with an injected 4xx tempfail"
+    );
+    counter!(
+        inc_connection_resets,
+        connection_resets,
+        connection_resets,
+        "SMTP sessions reset mid-way by an injected fault"
+    );
+    counter!(
+        inc_window_closed_probes,
+        window_closed_probes,
+        window_closed_probes,
+        "probes that found the host's reachability window closed"
+    );
+    counter!(inc_probe_retries, probe_retries, probe_retries, "probe retry attempts");
+    counter!(
+        inc_probes_recovered,
+        probes_recovered,
+        probes_recovered,
+        "probes whose retries recovered a conclusive measurement"
+    );
 
     /// Add `n` bytes to the sent-bytes counter.
     pub fn add_bytes_sent(&self, n: u64) {
@@ -103,6 +147,13 @@ impl Metrics {
             dns_queries: self.dns_queries(),
             dns_cache_hits: self.dns_cache_hits(),
             dns_truncated: self.dns_truncated(),
+            dns_timeouts: self.dns_timeouts(),
+            dns_servfails: self.dns_servfails(),
+            smtp_tempfails: self.smtp_tempfails(),
+            connection_resets: self.connection_resets(),
+            window_closed_probes: self.window_closed_probes(),
+            probe_retries: self.probe_retries(),
+            probes_recovered: self.probes_recovered(),
         }
     }
 }
@@ -130,6 +181,20 @@ pub struct MetricsSnapshot {
     pub dns_cache_hits: u64,
     /// Truncated DNS responses retried over TCP.
     pub dns_truncated: u64,
+    /// DNS lookups that exhausted every retry and timed out.
+    pub dns_timeouts: u64,
+    /// DNS queries answered with an injected SERVFAIL.
+    pub dns_servfails: u64,
+    /// SMTP sessions greeted with an injected 4xx tempfail.
+    pub smtp_tempfails: u64,
+    /// SMTP sessions reset mid-way by an injected fault.
+    pub connection_resets: u64,
+    /// Probes that found the host's reachability window closed.
+    pub window_closed_probes: u64,
+    /// Probe retry attempts.
+    pub probe_retries: u64,
+    /// Probes whose retries recovered a conclusive measurement.
+    pub probes_recovered: u64,
 }
 
 impl MetricsSnapshot {
@@ -146,6 +211,13 @@ impl MetricsSnapshot {
             dns_queries: self.dns_queries + other.dns_queries,
             dns_cache_hits: self.dns_cache_hits + other.dns_cache_hits,
             dns_truncated: self.dns_truncated + other.dns_truncated,
+            dns_timeouts: self.dns_timeouts + other.dns_timeouts,
+            dns_servfails: self.dns_servfails + other.dns_servfails,
+            smtp_tempfails: self.smtp_tempfails + other.smtp_tempfails,
+            connection_resets: self.connection_resets + other.connection_resets,
+            window_closed_probes: self.window_closed_probes + other.window_closed_probes,
+            probe_retries: self.probe_retries + other.probe_retries,
+            probes_recovered: self.probes_recovered + other.probes_recovered,
         }
     }
 }

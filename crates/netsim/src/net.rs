@@ -23,6 +23,11 @@ pub enum LinkObservation {
     Aborted,
     /// The datagram was lost; a timeout was charged.
     TimedOut,
+    /// The datagram was answered with SERVFAIL; one RTT was charged.
+    ServFail,
+    /// The datagram response came back truncated (TC); one RTT was
+    /// charged and the caller must retry over TCP.
+    Truncated,
 }
 
 impl LinkObservation {
@@ -119,6 +124,15 @@ impl Link {
                 self.clock.advance(timeout);
                 LinkObservation::TimedOut
             }
+            FaultOutcome::ServFail => {
+                self.metrics.inc_dns_servfails();
+                self.clock.advance(self.latency.sample_rtt(rng));
+                LinkObservation::ServFail
+            }
+            FaultOutcome::Truncated => {
+                self.clock.advance(self.latency.sample_rtt(rng));
+                LinkObservation::Truncated
+            }
             _ => {
                 self.clock.advance(self.latency.sample_rtt(rng));
                 LinkObservation::Ok
@@ -184,6 +198,37 @@ mod tests {
         assert_eq!(obs, LinkObservation::TimedOut);
         assert_eq!(clock.now().as_secs(), 5);
         assert_eq!(metrics.datagrams_dropped(), 1);
+    }
+
+    #[test]
+    fn injected_servfail_and_truncation_are_observed() {
+        let clock = SimClock::new();
+        let metrics = Metrics::new();
+        let mut rng = SimRng::new(9);
+        let servfail = Link::new(
+            LatencyModel::ZERO,
+            FaultPlan::dns_servfail(1.0),
+            clock.clone(),
+            metrics.clone(),
+        );
+        assert_eq!(
+            servfail.datagram(&mut rng, 64, SimDuration::from_secs(3)),
+            LinkObservation::ServFail
+        );
+        assert_eq!(metrics.dns_servfails(), 1);
+        // SERVFAIL is an answer, not a loss: no timeout is charged.
+        assert_eq!(clock.now(), SimTime::EPOCH);
+        let truncating = Link::new(
+            LatencyModel::ZERO,
+            FaultPlan::dns_truncate(1.0),
+            clock.clone(),
+            metrics.clone(),
+        );
+        assert_eq!(
+            truncating.datagram(&mut rng, 64, SimDuration::from_secs(3)),
+            LinkObservation::Truncated
+        );
+        assert_eq!(metrics.datagrams_dropped(), 0);
     }
 
     #[test]

@@ -13,12 +13,14 @@
 use std::collections::HashMap;
 
 use spfail_dns::QueryLog;
-use spfail_netsim::SimDuration;
+use spfail_netsim::{FaultProfile, MetricsSnapshot, SimDuration};
 use spfail_world::{DomainId, HostId, Timeline, World};
 
 use crate::classify::Classification;
 use crate::ethics::{EthicsAudit, MAX_CONCURRENT};
-use crate::probe::{ProbeContext, ProbeOutcome, ProbeTest, Prober};
+use crate::probe::{
+    ProbeContext, ProbeOptions, ProbeOutcome, ProbeTest, ProbeVerdict, Prober, RetryPolicy,
+};
 
 /// Which shard a host belongs to when the campaign is split `shards` ways.
 ///
@@ -187,6 +189,11 @@ pub struct CampaignData {
     pub vulnerable_domains: Vec<DomainId>,
     /// The §6.1 self-restraint audit for the whole campaign.
     pub ethics: EthicsAudit,
+    /// Network-layer counters for the whole campaign: DNS queries and
+    /// faults, injected SMTP faults, retries and recoveries. Shard
+    /// snapshots merge commutatively, so this too is identical across
+    /// shard counts.
+    pub network: MetricsSnapshot,
 }
 
 impl CampaignData {
@@ -283,6 +290,95 @@ impl CampaignTiming {
     }
 }
 
+/// Everything one campaign run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignRun {
+    /// The campaign's measurements.
+    pub data: CampaignData,
+    /// Per-phase simulated busy time, when requested with
+    /// [`CampaignBuilder::timed`].
+    pub timing: Option<CampaignTiming>,
+}
+
+/// The one way to configure and run a measurement campaign.
+///
+/// Replaces the positional `Campaign::run` / `run_sharded` /
+/// `run_timed` / `run_sharded_timed` matrix: every axis is a named
+/// builder method and the defaults reproduce the reference sequential
+/// engine exactly.
+///
+/// ```
+/// use spfail_netsim::FaultProfile;
+/// use spfail_prober::{CampaignBuilder, RetryPolicy};
+/// use spfail_world::{World, WorldConfig};
+///
+/// let world = World::generate(WorldConfig {
+///     scale: 0.002,
+///     ..WorldConfig::small(7)
+/// });
+/// let run = CampaignBuilder::new()
+///     .shards(4)
+///     .faults(FaultProfile::NONE)
+///     .retry(RetryPolicy::standard())
+///     .timed()
+///     .run(&world);
+/// assert!(run.timing.is_some());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignBuilder {
+    shards: usize,
+    options: ProbeOptions,
+    timed: bool,
+}
+
+impl CampaignBuilder {
+    /// A sequential, fault-free, no-retry, untimed campaign — the
+    /// reference configuration.
+    pub fn new() -> CampaignBuilder {
+        CampaignBuilder::default()
+    }
+
+    /// Split the campaign across `shards` parallel workers (0 and 1
+    /// both mean sequential). Any shard count produces bit-for-bit the
+    /// data of the sequential engine, under any fault profile.
+    pub fn shards(mut self, shards: usize) -> CampaignBuilder {
+        self.shards = shards;
+        self
+    }
+
+    /// Inject network faults from `profile` into every probe.
+    pub fn faults(mut self, profile: FaultProfile) -> CampaignBuilder {
+        self.options.faults = profile;
+        self
+    }
+
+    /// Answer transient probe failures with `policy` retries.
+    pub fn retry(mut self, policy: RetryPolicy) -> CampaignBuilder {
+        self.options.retry = policy;
+        self
+    }
+
+    /// Also report per-phase simulated busy time in
+    /// [`CampaignRun::timing`].
+    pub fn timed(mut self) -> CampaignBuilder {
+        self.timed = true;
+        self
+    }
+
+    /// Run the configured campaign against `world`.
+    pub fn run(self, world: &World) -> CampaignRun {
+        let (data, timing) = if self.shards > 1 {
+            Campaign::sharded_engine(world, self.shards, &self.options)
+        } else {
+            Campaign::sequential_engine(world, &self.options)
+        };
+        CampaignRun {
+            data,
+            timing: self.timed.then_some(timing),
+        }
+    }
+}
+
 /// The campaign driver.
 pub struct Campaign;
 
@@ -290,17 +386,33 @@ impl Campaign {
     /// Run the complete measurement programme against `world`, probing
     /// every host sequentially through the world's shared surfaces.
     ///
-    /// This is the reference engine: [`Campaign::run_sharded`] must
-    /// produce identical [`CampaignData`] for every shard count, which
+    /// This is the reference engine: the sharded engine must produce
+    /// identical [`CampaignData`] for every shard count, which
     /// `tests/parallel.rs` asserts field by field.
+    #[deprecated(note = "use CampaignBuilder::new().run(world).data")]
     pub fn run(world: &World) -> CampaignData {
-        Self::run_timed(world).0
+        Self::sequential_engine(world, &ProbeOptions::default()).0
     }
 
-    /// [`Campaign::run`], also reporting each phase's simulated busy
+    /// Sequential run that also reports each phase's simulated busy
     /// time (the serialised cost of every probe on the one clock).
+    #[deprecated(note = "use CampaignBuilder::new().timed().run(world)")]
     pub fn run_timed(world: &World) -> (CampaignData, CampaignTiming) {
-        let mut prober = Prober::new(world, "s1");
+        Self::sequential_engine(world, &ProbeOptions::default())
+    }
+
+    /// The sequential reference engine.
+    fn sequential_engine(
+        world: &World,
+        opts: &ProbeOptions,
+    ) -> (CampaignData, CampaignTiming) {
+        let mut prober = Prober::with_options(
+            world,
+            "s1",
+            ProbeContext::shared(world),
+            MAX_CONCURRENT,
+            *opts,
+        );
         let mut counts: HashMap<HostId, u32> = HashMap::new();
         let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
 
@@ -327,7 +439,14 @@ impl Campaign {
         // final round day, so carried-over contact history would make
         // the audit depend on host interleaving).
         let ethics = prober.ethics().audit().clone();
-        let mut prober = Prober::new(world, "s1");
+        let network = prober.metrics().snapshot();
+        let mut prober = Prober::with_options(
+            world,
+            "s1",
+            ProbeContext::shared(world),
+            MAX_CONCURRENT,
+            *opts,
+        );
         prober
             .context()
             .clock
@@ -345,6 +464,7 @@ impl Campaign {
             snapshot,
             vulnerable_domains,
             ethics: ethics.merge(prober.ethics().audit()),
+            network: network.merge(&prober.metrics().snapshot()),
         };
         let timing = CampaignTiming {
             initial: initial_busy,
@@ -367,15 +487,27 @@ impl Campaign {
     /// would have measured for the same hosts. Shard results are merged
     /// in canonical shard order, so the output is identical for every
     /// shard count — including `run_sharded(world, 1)` vs `run(world)`.
+    #[deprecated(note = "use CampaignBuilder::new().shards(n).run(world).data")]
     pub fn run_sharded(world: &World, shards: usize) -> CampaignData {
-        Self::run_sharded_timed(world, shards).0
+        Self::sharded_engine(world, shards, &ProbeOptions::default()).0
     }
 
-    /// [`Campaign::run_sharded`], also reporting each phase's simulated
-    /// busy time. Shards probe concurrently against independent clocks,
-    /// so a phase costs its *slowest* shard, not the sum — the makespan
-    /// a real parallel campaign would observe.
+    /// Sharded run that also reports each phase's simulated busy time.
+    /// Shards probe concurrently against independent clocks, so a phase
+    /// costs its *slowest* shard, not the sum — the makespan a real
+    /// parallel campaign would observe.
+    #[deprecated(note = "use CampaignBuilder::new().shards(n).timed().run(world)")]
     pub fn run_sharded_timed(world: &World, shards: usize) -> (CampaignData, CampaignTiming) {
+        Self::sharded_engine(world, shards, &ProbeOptions::default())
+    }
+
+    /// The sharded engine: one worker per shard, merged in canonical
+    /// shard order.
+    fn sharded_engine(
+        world: &World,
+        shards: usize,
+        opts: &ProbeOptions,
+    ) -> (CampaignData, CampaignTiming) {
         let shards = shards.max(1);
         let budget = (MAX_CONCURRENT / shards).max(1);
         let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
@@ -387,6 +519,7 @@ impl Campaign {
             InitialMeasurement,
             HashMap<HostId, u32>,
             EthicsAudit,
+            MetricsSnapshot,
             SimDuration,
         );
         let sweep_outputs: Vec<SweepOut> = crossbeam::thread::scope(|s| {
@@ -394,15 +527,22 @@ impl Campaign {
                 .iter()
                 .map(|part| {
                     s.spawn(move |_| {
-                        let mut prober = Prober::with_context(
+                        let mut prober = Prober::with_options(
                             world,
                             "s1",
                             ProbeContext::isolated(world),
                             budget,
+                            *opts,
                         );
                         let mut counts = HashMap::new();
                         let (initial, busy) = Self::initial_sweep(&mut prober, &mut counts, part);
-                        (initial, counts, prober.ethics().audit().clone(), busy)
+                        (
+                            initial,
+                            counts,
+                            prober.ethics().audit().clone(),
+                            prober.metrics().snapshot(),
+                            busy,
+                        )
                     })
                 })
                 .collect();
@@ -416,11 +556,13 @@ impl Campaign {
         let mut initial = InitialMeasurement::default();
         let mut counts: HashMap<HostId, u32> = HashMap::new();
         let mut ethics = EthicsAudit::default();
+        let mut network = MetricsSnapshot::default();
         let mut initial_busy = SimDuration::ZERO;
-        for (part_initial, part_counts, part_audit, busy) in sweep_outputs {
+        for (part_initial, part_counts, part_audit, part_network, busy) in sweep_outputs {
             initial.results.extend(part_initial.results);
             counts.extend(part_counts);
             ethics = ethics.merge(&part_audit);
+            network = network.merge(&part_network);
             initial_busy = initial_busy.max(busy);
         }
         let (tracked, vulnerable_domains, preferred) = Self::derive_tracking(world, &initial);
@@ -430,7 +572,11 @@ impl Campaign {
         // contact history stay on one worker for the whole phase.
         let tracked_parts = partition_hosts(&tracked, shards);
         let round_days = Timeline::all_round_days();
-        type RoundOut = (Vec<(HashMap<HostId, RoundStatus>, SimDuration)>, EthicsAudit);
+        type RoundOut = (
+            Vec<(HashMap<HostId, RoundStatus>, SimDuration)>,
+            EthicsAudit,
+            MetricsSnapshot,
+        );
         let round_outputs: Vec<RoundOut> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = tracked_parts
                 .iter()
@@ -442,11 +588,12 @@ impl Campaign {
                     let round_days = &round_days;
                     let preferred = &preferred;
                     s.spawn(move |_| {
-                        let mut prober = Prober::with_context(
+                        let mut prober = Prober::with_options(
                             world,
                             "s1",
                             ProbeContext::isolated(world),
                             budget,
+                            *opts,
                         );
                         let statuses: Vec<(HashMap<HostId, RoundStatus>, SimDuration)> =
                             round_days
@@ -461,7 +608,11 @@ impl Campaign {
                                     )
                                 })
                                 .collect();
-                        (statuses, prober.ethics().audit().clone())
+                        (
+                            statuses,
+                            prober.ethics().audit().clone(),
+                            prober.metrics().snapshot(),
+                        )
                     })
                 })
                 .collect();
@@ -480,7 +631,7 @@ impl Campaign {
             .map(|&day| (day, HashMap::new()))
             .collect();
         let mut round_busies = vec![SimDuration::ZERO; round_days.len()];
-        for (shard_statuses, part_audit) in round_outputs {
+        for (shard_statuses, part_audit, part_network) in round_outputs {
             for (i, (slot, (statuses, busy))) in
                 rounds.iter_mut().zip(shard_statuses).enumerate()
             {
@@ -488,6 +639,7 @@ impl Campaign {
                 round_busies[i] = round_busies[i].max(busy);
             }
             ethics = ethics.merge(&part_audit);
+            network = network.merge(&part_network);
         }
         let rounds_busy = round_busies
             .into_iter()
@@ -499,6 +651,7 @@ impl Campaign {
         type SnapOut = (
             HashMap<HostId, RoundStatus>,
             EthicsAudit,
+            MetricsSnapshot,
             QueryLog,
             SimDuration,
         );
@@ -508,11 +661,12 @@ impl Campaign {
                 .map(|part| {
                     let preferred = &preferred;
                     s.spawn(move |_| {
-                        let mut prober = Prober::with_context(
+                        let mut prober = Prober::with_options(
                             world,
                             "s1",
                             ProbeContext::isolated(world),
                             budget,
+                            *opts,
                         );
                         prober
                             .context()
@@ -521,7 +675,13 @@ impl Campaign {
                         prober.ethics_mut().begin_sweep();
                         let (statuses, busy) = Self::snapshot_sweep(&mut prober, part, preferred);
                         let log = prober.context().query_log.clone();
-                        (statuses, prober.ethics().audit().clone(), log, busy)
+                        (
+                            statuses,
+                            prober.ethics().audit().clone(),
+                            prober.metrics().snapshot(),
+                            log,
+                            busy,
+                        )
                     })
                 })
                 .collect();
@@ -535,9 +695,10 @@ impl Campaign {
         let mut host_statuses: HashMap<HostId, RoundStatus> = HashMap::new();
         let mut snapshot_logs = Vec::new();
         let mut snapshot_busy = SimDuration::ZERO;
-        for (statuses, part_audit, log, busy) in snapshot_outputs {
+        for (statuses, part_audit, part_network, log, busy) in snapshot_outputs {
             host_statuses.extend(statuses);
             ethics = ethics.merge(&part_audit);
+            network = network.merge(&part_network);
             snapshot_logs.push(log);
             snapshot_busy = snapshot_busy.max(busy);
         }
@@ -559,6 +720,7 @@ impl Campaign {
             snapshot,
             vulnerable_domains,
             ethics,
+            network,
         };
         let timing = CampaignTiming {
             initial: initial_busy,
@@ -584,13 +746,15 @@ impl Campaign {
         let start = prober.context().clock.now();
         let mut results = HashMap::with_capacity(hosts.len());
         for &host in hosts {
-            let nomsg = prober.probe(host, Timeline::INITIAL, ProbeTest::NoMsg, 0);
-            let mut seen = 1;
+            let (nomsg, attempts) =
+                prober.probe_with_retry(host, Timeline::INITIAL, ProbeTest::NoMsg, 0);
+            let mut seen = attempts;
             // BlankMsg only when NoMsg ran but elicited no SPF (§5.1).
             let blankmsg = if !nomsg.refused() && !nomsg.smtp_failure() && !nomsg.spf_measured()
             {
-                let outcome = prober.probe(host, Timeline::INITIAL, ProbeTest::BlankMsg, seen);
-                seen += 1;
+                let (outcome, attempts) =
+                    prober.probe_with_retry(host, Timeline::INITIAL, ProbeTest::BlankMsg, seen);
+                seen += attempts;
                 Some(outcome)
             } else {
                 None
@@ -668,8 +832,8 @@ impl Campaign {
         for &host in hosts {
             let seen = counts.entry(host).or_insert(0);
             let test = preferred[&host];
-            let outcome = prober.probe(host, day, test, *seen);
-            *seen += 1;
+            let (outcome, attempts) = prober.probe_with_retry(host, day, test, *seen);
+            *seen += attempts;
             statuses.insert(host, Self::round_status(&outcome));
         }
         let busy = prober.context().clock.now().since(start);
@@ -712,9 +876,9 @@ impl Campaign {
         let mut statuses = HashMap::new();
         for &host in hosts {
             let test = preferred.get(&host).copied().unwrap_or(ProbeTest::BlankMsg);
-            let mut outcome = prober.probe(host, Timeline::END, test, 0);
+            let (mut outcome, _) = prober.probe_with_retry(host, Timeline::END, test, 0);
             if !outcome.spf_measured() {
-                outcome = prober.probe(host, Timeline::END, test, 0);
+                (outcome, _) = prober.probe_with_retry(host, Timeline::END, test, 0);
             }
             statuses.insert(host, Self::round_status(&outcome));
         }
@@ -753,14 +917,15 @@ impl Campaign {
             .collect()
     }
 
+    /// A round's status is the probe's graceful-degradation verdict:
+    /// only conclusive measurements claim `Vulnerable`/`Patched`; a
+    /// host that was unreachable (or measured nothing) stays
+    /// `Inconclusive` — it is never downgraded to patched.
     fn round_status(outcome: &ProbeOutcome) -> RoundStatus {
-        if !outcome.spf_measured() {
-            return RoundStatus::Inconclusive;
-        }
-        if outcome.classification.vulnerable() {
-            RoundStatus::Vulnerable
-        } else {
-            RoundStatus::Patched
+        match outcome.verdict() {
+            ProbeVerdict::Vulnerable => RoundStatus::Vulnerable,
+            ProbeVerdict::NotVulnerable => RoundStatus::Patched,
+            ProbeVerdict::Unreachable | ProbeVerdict::Inconclusive => RoundStatus::Inconclusive,
         }
     }
 }
@@ -775,7 +940,7 @@ mod tests {
             scale: 0.004,
             ..WorldConfig::small(2024)
         });
-        let data = Campaign::run(&world);
+        let data = CampaignBuilder::new().run(&world).data;
         (world, data)
     }
 

@@ -31,9 +31,13 @@ pub mod ethics;
 pub mod probe;
 
 pub use campaign::{
-    partition_hosts, shard_of, Campaign, CampaignData, CampaignTiming, HostClass,
-    HostInitialResult, InitialMeasurement, RoundStatus, SnapshotStatus,
+    partition_hosts, shard_of, Campaign, CampaignBuilder, CampaignData, CampaignRun,
+    CampaignTiming, HostClass, HostInitialResult, InitialMeasurement, RoundStatus,
+    SnapshotStatus,
 };
 pub use classify::{classify, Classification};
 pub use ethics::{EthicsAudit, EthicsGuard};
-pub use probe::{ProbeContext, ProbeOutcome, ProbeTest, Prober};
+pub use probe::{
+    ProbeContext, ProbeOptions, ProbeOutcome, ProbeTest, ProbeVerdict, Prober, RetryPolicy,
+    CONNECT_TIMEOUT,
+};

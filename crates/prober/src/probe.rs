@@ -7,17 +7,25 @@ use std::sync::Arc;
 use spfail_dns::{Directory, QueryLog, SpfTestAuthority};
 use spfail_mta::mta::ConnectDecision;
 use spfail_mta::Mta;
-use spfail_netsim::{SimClock, SimRng};
+use spfail_netsim::{
+    FaultOutcome, FaultProfile, Metrics, ProbeError, SimClock, SimDuration, SimRng,
+};
 use spfail_smtp::address::EmailAddress;
 use spfail_smtp::client::{
     ClientAction, ClientRunner, TransactionOutcome, TransactionPlan, TransactionStep,
     USERNAME_LADDER,
 };
 use spfail_smtp::session::SessionState;
-use spfail_world::{HostId, World};
+use spfail_world::{HostId, MtaInstrumentation, Timeline, World};
 
 use crate::classify::{classify, Classification, RESERVED_ID_LABELS};
-use crate::ethics::{EthicsGuard, MAX_CONCURRENT};
+use crate::ethics::{EthicsGuard, GREYLIST_WAIT, MAX_CONCURRENT, MIN_RECONTACT};
+
+/// How long a connection attempt waits before giving up on a host that
+/// never answers (a flaky host or a closed reachability window). The
+/// wait is charged to the simulated clock: unreachability costs time,
+/// it is never an instant failure.
+pub const CONNECT_TIMEOUT: SimDuration = SimDuration::from_secs(30);
 
 /// Which probe variant ran.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -35,6 +43,122 @@ impl ProbeTest {
             ProbeTest::BlankMsg => TransactionStep::SendBlankMessage,
         }
     }
+
+    fn tag(self) -> u8 {
+        match self {
+            ProbeTest::NoMsg => 0,
+            ProbeTest::BlankMsg => 1,
+        }
+    }
+}
+
+/// Graceful-degradation verdict of one probe: what the measurement is
+/// allowed to claim about the host given how the probe concluded.
+///
+/// The distinction that matters under fault load is `Unreachable` /
+/// `Inconclusive` vs [`ProbeVerdict::NotVulnerable`]: a host that stayed
+/// dark is *never* reported as not vulnerable — only a conclusive
+/// non-vulnerable fingerprint earns that verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeVerdict {
+    /// The vulnerable fingerprint was conclusively measured.
+    Vulnerable,
+    /// A non-vulnerable (typically compliant) fingerprint was
+    /// conclusively measured.
+    NotVulnerable,
+    /// The host could not be reached (refused, timed out, reset, or
+    /// tempfailed): nothing can be claimed about its SPF behaviour.
+    Unreachable,
+    /// The host was reached but the probe produced no conclusive
+    /// measurement.
+    Inconclusive,
+}
+
+/// Retry/timeout/backoff policy for [`Prober::probe_with_retry`].
+///
+/// Backoff is exponential with deterministic jitter: attempt `k` waits
+/// `base_backoff * 2^(k-1)` (capped at `max_backoff`), scaled by a
+/// jitter factor drawn from a stream forked off the probe's identity —
+/// so sharded and sequential campaigns wait out identical backoffs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: SimDuration,
+    /// Upper bound on a single backoff (`ZERO` = uncapped).
+    pub max_backoff: SimDuration,
+    /// Jitter width as a fraction of the backoff: the wait is scaled
+    /// uniformly within `[1 - jitter/2, 1 + jitter/2)`.
+    pub jitter: f64,
+    /// Give up retrying once this much simulated time has elapsed since
+    /// the probe's first attempt.
+    pub deadline: Option<SimDuration>,
+}
+
+impl RetryPolicy {
+    /// No retries: a single attempt, exactly the pre-retry behaviour.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_attempts: 1,
+        base_backoff: SimDuration::ZERO,
+        max_backoff: SimDuration::ZERO,
+        jitter: 0.0,
+        deadline: None,
+    };
+
+    /// The per-probe deadline, drawn from the ethics budget: one
+    /// greylist wait plus two contact-spacing intervals. Retrying past
+    /// this point would spend more of the per-host contact budget than
+    /// the §6.1 self-restraint rules allot to a single measurement.
+    pub const DEADLINE: SimDuration = SimDuration::from_micros(
+        GREYLIST_WAIT.as_micros() + 2 * MIN_RECONTACT.as_micros(),
+    );
+
+    /// The standard resilient policy: three attempts, 10 s base backoff
+    /// doubling to at most 2 min, 50% jitter, deadline from the ethics
+    /// budget.
+    pub const fn standard() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: SimDuration::from_secs(10),
+            max_backoff: SimDuration::from_mins(2),
+            jitter: 0.5,
+            deadline: Some(RetryPolicy::DEADLINE),
+        }
+    }
+
+    /// The jittered backoff before retry number `attempt` (1-based: the
+    /// wait between the first and second attempts is `backoff(1, ..)`).
+    pub fn backoff(&self, attempt: u32, rng: &mut SimRng) -> SimDuration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let mut wait = self.base_backoff.mul(1u64 << exp);
+        if self.max_backoff > SimDuration::ZERO && wait > self.max_backoff {
+            wait = self.max_backoff;
+        }
+        if self.jitter <= 0.0 || wait == SimDuration::ZERO {
+            return wait;
+        }
+        let factor = 1.0 - self.jitter / 2.0 + rng.unit() * self.jitter;
+        SimDuration::from_micros((wait.as_micros() as f64 * factor) as u64)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::NONE
+    }
+}
+
+/// Everything configurable about how a prober probes: the fault regime
+/// the network imposes on it and the retry policy it answers with. The
+/// default injects nothing and never retries — byte-for-byte the
+/// pre-fault-subsystem behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProbeOptions {
+    /// Faults injected on the DNS and SMTP paths.
+    pub faults: FaultProfile,
+    /// The prober's retry/backoff policy.
+    pub retry: RetryPolicy,
 }
 
 /// The simulation surfaces a prober probes through: the DNS directory
@@ -97,6 +221,13 @@ pub struct ProbeOutcome {
     pub transaction: Option<TransactionOutcome>,
     /// What the DNS queries revealed.
     pub classification: Classification,
+    /// An injected DNS fault observed on the probed host's resolver
+    /// during this probe (`None` when the resolver ran clean). A
+    /// transaction can run to completion and still carry one of these —
+    /// the host's SPF check silently timed out — which is why an
+    /// unmeasured-but-completed probe with a DNS fault retries instead
+    /// of being taken at face value.
+    pub dns_fault: Option<ProbeError>,
 }
 
 impl ProbeOutcome {
@@ -123,6 +254,50 @@ impl ProbeOutcome {
     pub fn spf_measured(&self) -> bool {
         self.classification.conclusive()
     }
+
+    /// Why the probe failed to measure, in the stack-wide [`ProbeError`]
+    /// vocabulary, or `None` when it measured (or completed without any
+    /// SPF activity to observe).
+    pub fn probe_error(&self) -> Option<ProbeError> {
+        if self.spf_measured() {
+            // A vulnerable fingerprint is a positive signal — dropped
+            // datagrams cannot fabricate it. A *non*-vulnerable shape
+            // seen through a DNS fault is suspect: the fault may have
+            // eaten the fingerprint queries, so the measurement is
+            // retryable, not conclusive.
+            return if self.classification.vulnerable() {
+                None
+            } else {
+                self.dns_fault
+            };
+        }
+        match &self.transaction {
+            None => Some(ProbeError::ConnectRefused),
+            Some(outcome) => outcome.probe_error().or(self.dns_fault),
+        }
+    }
+
+    /// The graceful-degradation verdict (see [`ProbeVerdict`]).
+    pub fn verdict(&self) -> ProbeVerdict {
+        if self.spf_measured() {
+            if self.classification.vulnerable() {
+                return ProbeVerdict::Vulnerable;
+            }
+            return if self.dns_fault.is_none() {
+                ProbeVerdict::NotVulnerable
+            } else {
+                // The host answered and its queries looked compliant,
+                // but an injected DNS fault disturbed the resolution —
+                // never downgrade a possibly-dark host to NotVulnerable.
+                ProbeVerdict::Inconclusive
+            };
+        }
+        match self.probe_error() {
+            Some(err) if err.is_transient() => ProbeVerdict::Unreachable,
+            Some(ProbeError::ConnectRefused) => ProbeVerdict::Unreachable,
+            _ => ProbeVerdict::Inconclusive,
+        }
+    }
 }
 
 /// The probing client: owns the unique-label generator and the ethics
@@ -143,7 +318,12 @@ pub struct Prober<'w> {
     ctx: ProbeContext,
     base_rng: SimRng,
     rng: SimRng,
+    /// Root for per-host fault-window materialisation; depends only on
+    /// the world seed and suite, so all shards agree on which hosts blink.
+    fault_rng: SimRng,
     ethics: EthicsGuard,
+    options: ProbeOptions,
+    metrics: Metrics,
     next_id: u64,
     occurrences: HashMap<(u32, u16, u8, u32), u64>,
 }
@@ -168,6 +348,18 @@ impl<'w> Prober<'w> {
         ctx: ProbeContext,
         max_concurrent: usize,
     ) -> Prober<'w> {
+        Prober::with_options(world, suite, ctx, max_concurrent, ProbeOptions::default())
+    }
+
+    /// [`Prober::with_context`] with an explicit fault profile and retry
+    /// policy. The default options inject nothing and never retry.
+    pub fn with_options(
+        world: &'w World,
+        suite: &str,
+        ctx: ProbeContext,
+        max_concurrent: usize,
+        options: ProbeOptions,
+    ) -> Prober<'w> {
         let base_rng = world.fork_rng(&format!("prober-{suite}"));
         Prober {
             world,
@@ -175,8 +367,11 @@ impl<'w> Prober<'w> {
             source_ip: "203.0.113.25".parse().expect("static address"),
             ethics: EthicsGuard::with_budget(ctx.clock.clone(), max_concurrent),
             rng: base_rng.fork("id-sequence"),
+            fault_rng: base_rng.fork("fault-injector"),
             base_rng,
             ctx,
+            options,
+            metrics: Metrics::new(),
             next_id: 0,
             occurrences: HashMap::new(),
         }
@@ -185,6 +380,18 @@ impl<'w> Prober<'w> {
     /// The context this prober probes through.
     pub fn context(&self) -> &ProbeContext {
         &self.ctx
+    }
+
+    /// The fault/retry options this prober runs under.
+    pub fn options(&self) -> &ProbeOptions {
+        &self.options
+    }
+
+    /// The prober's network counters (DNS traffic, injected faults,
+    /// retries). Per-prober, so shard snapshots merge into campaign
+    /// totals without double counting.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
     }
 
     /// The ethics guard (for audits).
@@ -232,10 +439,7 @@ impl<'w> Prober<'w> {
         test: ProbeTest,
         extra_connections: u32,
     ) -> ProbeOutcome {
-        let test_tag = match test {
-            ProbeTest::NoMsg => 0u8,
-            ProbeTest::BlankMsg => 1u8,
-        };
+        let test_tag = test.tag();
         let occurrence = {
             let counter = self
                 .occurrences
@@ -252,8 +456,11 @@ impl<'w> Prober<'w> {
         let id = Self::probe_id(&mut rng, &self.suite);
         let record = self.world.host(host);
 
-        // Transient flakiness: the host is unreachable this round.
+        // Transient flakiness: the host is unreachable this round. The
+        // failed attempt is not free — it consumes the connect timeout
+        // on the simulated clock, like any unreachable peer.
         if rng.chance(record.profile.flaky) {
+            self.ctx.clock.advance(CONNECT_TIMEOUT);
             return ProbeOutcome {
                 host,
                 test,
@@ -263,14 +470,90 @@ impl<'w> Prober<'w> {
                     code: 0,
                 }),
                 classification: Classification::default(),
+                dns_fault: None,
             };
         }
 
-        let mut mta = self.world.build_mta_in(
+        // Injected reachability window: evaluated at the probe's
+        // scheduled day, never at `clock.now()` — the sequential engine
+        // shares one clock across all hosts while each shard has its
+        // own, and only the scheduled day is common to both.
+        if let Some(window) = self
+            .options
+            .faults
+            .window_for_host(&self.fault_rng, u64::from(host.0))
+        {
+            if !window.is_open(Timeline::day_to_time(day)) {
+                self.metrics.inc_window_closed_probes();
+                self.ctx.clock.advance(CONNECT_TIMEOUT);
+                return ProbeOutcome {
+                    host,
+                    test,
+                    id,
+                    transaction: Some(TransactionOutcome::Transient {
+                        stage: "connect",
+                        code: 0,
+                    }),
+                    classification: Classification::default(),
+                    dns_fault: None,
+                };
+            }
+        }
+
+        // Injected SMTP-path faults, rolled from the probe's identity
+        // stream (zero-probability plans draw nothing, preserving the
+        // stream byte-for-byte).
+        match self.options.faults.smtp.smtp_outcome(&mut rng) {
+            FaultOutcome::TempFailed => {
+                self.metrics.inc_smtp_tempfails();
+                return ProbeOutcome {
+                    host,
+                    test,
+                    id,
+                    transaction: Some(TransactionOutcome::Transient {
+                        stage: "connect",
+                        code: 421,
+                    }),
+                    classification: Classification::default(),
+                    dns_fault: None,
+                };
+            }
+            FaultOutcome::Reset => {
+                self.metrics.inc_connection_resets();
+                return ProbeOutcome {
+                    host,
+                    test,
+                    id,
+                    transaction: Some(TransactionOutcome::ConnectionReset),
+                    classification: Classification::default(),
+                    dns_fault: None,
+                };
+            }
+            _ => {}
+        }
+
+        // When DNS faults are active the MTA's stream is salted with the
+        // probe identity, so a retried probe re-rolls the resolver's
+        // fault dice instead of replaying the same timeout forever.
+        let dns_salt = format!(
+            "dns-h{}-d{day}-t{test_tag}-x{extra_connections}-n{occurrence}",
+            host.0
+        );
+        let mut mta = self.world.build_mta_instrumented(
             host,
             day,
             self.ctx.directory.clone(),
             self.ctx.clock.clone(),
+            MtaInstrumentation {
+                dns_faults: self.options.faults.dns,
+                metrics: self.metrics.clone(),
+                reroll: self
+                    .options
+                    .faults
+                    .dns
+                    .is_active()
+                    .then_some(dns_salt.as_str()),
+            },
         );
         // Restore the host's cross-round connection count so blacklisting
         // thresholds apply campaign-wide, not per-instance.
@@ -285,8 +568,25 @@ impl<'w> Prober<'w> {
             self.suite,
             self.world.zone_origin.to_ascii()
         );
+        // The MTA's resolver reports into this prober's metrics; the
+        // delta across the transaction tells us whether injected DNS
+        // faults disturbed this particular probe's measurement.
+        let dns_before = self.options.faults.dns.is_active().then(|| {
+            let snap = self.metrics.snapshot();
+            (snap.dns_timeouts, snap.dns_servfails)
+        });
         let transaction =
             self.run_transaction(&mut mta, IpAddr::V4(record.ip), &sender_domain, test);
+        let dns_fault = dns_before.and_then(|(timeouts, servfails)| {
+            let snap = self.metrics.snapshot();
+            if snap.dns_timeouts > timeouts {
+                Some(ProbeError::DnsTimeout)
+            } else if snap.dns_servfails > servfails {
+                Some(ProbeError::DnsServFail)
+            } else {
+                None
+            }
+        });
         let entries = self.ctx.query_log.entries_from(log_start);
         let classification = classify(&entries, &id, &self.suite, &self.world.zone_origin);
 
@@ -296,7 +596,60 @@ impl<'w> Prober<'w> {
             id,
             transaction,
             classification,
+            dns_fault,
         }
+    }
+
+    /// [`Prober::probe`] under the prober's [`RetryPolicy`]: retry while
+    /// the outcome maps to a *transient* [`ProbeError`], attempts remain,
+    /// and the per-probe deadline (measured on the simulated clock from
+    /// the first attempt) has not passed. Returns the final outcome and
+    /// how many attempts ran.
+    ///
+    /// Each retry waits out a jittered exponential backoff drawn from a
+    /// stream forked off the probe's identity, and repeats the probe with
+    /// the same arguments — the occurrence counter gives the retry fresh
+    /// (but reproducible) dice. Under [`RetryPolicy::NONE`] this is
+    /// exactly one `probe` call.
+    pub fn probe_with_retry(
+        &mut self,
+        host: HostId,
+        day: u16,
+        test: ProbeTest,
+        extra_connections: u32,
+    ) -> (ProbeOutcome, u32) {
+        let started = self.ctx.clock.now();
+        let mut outcome = self.probe(host, day, test, extra_connections);
+        let mut attempts = 1u32;
+        let max_attempts = self.options.retry.max_attempts.max(1);
+        while attempts < max_attempts {
+            let Some(err) = outcome.probe_error() else {
+                break;
+            };
+            if !err.is_transient() {
+                break;
+            }
+            if let Some(deadline) = self.options.retry.deadline {
+                if self.ctx.clock.now().since(started) >= deadline {
+                    break;
+                }
+            }
+            let mut backoff_rng = self.base_rng.fork(&format!(
+                "backoff-h{}-d{day}-t{}-x{extra_connections}-a{attempts}",
+                host.0,
+                test.tag()
+            ));
+            self.ctx
+                .clock
+                .advance(self.options.retry.backoff(attempts, &mut backoff_rng));
+            self.metrics.inc_probe_retries();
+            outcome = self.probe(host, day, test, extra_connections);
+            attempts += 1;
+        }
+        if attempts > 1 && outcome.spf_measured() {
+            self.metrics.inc_probes_recovered();
+        }
+        (outcome, attempts)
     }
 
     /// A probe id drawn from the probe's own stream: a 4–5 character
@@ -417,6 +770,7 @@ fn base36(mut n: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spfail_netsim::{FaultPlan, FlakyWindow};
     use spfail_world::WorldConfig;
 
     fn world() -> World {
@@ -580,5 +934,186 @@ mod tests {
         }
         assert!(outcome.spf_measured());
         assert!(prober.ethics().audit().greylist_waits >= 1);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff: SimDuration::from_secs(10),
+            max_backoff: SimDuration::from_secs(40),
+            jitter: 0.0,
+            deadline: None,
+        };
+        let mut rng = SimRng::new(7);
+        assert_eq!(policy.backoff(1, &mut rng), SimDuration::from_secs(10));
+        assert_eq!(policy.backoff(2, &mut rng), SimDuration::from_secs(20));
+        assert_eq!(policy.backoff(3, &mut rng), SimDuration::from_secs(40));
+        // Capped from here on.
+        assert_eq!(policy.backoff(4, &mut rng), SimDuration::from_secs(40));
+    }
+
+    #[test]
+    fn jittered_backoff_is_deterministic_and_bounded() {
+        let policy = RetryPolicy::standard();
+        let base = policy.base_backoff.as_micros() as f64;
+        let mut a = SimRng::new(99).fork("backoff");
+        let mut b = SimRng::new(99).fork("backoff");
+        for attempt in 1..=3 {
+            let da = policy.backoff(attempt, &mut a);
+            let db = policy.backoff(attempt, &mut b);
+            assert_eq!(da, db, "same stream, same delay");
+            let nominal = base * f64::from(1u32 << (attempt - 1));
+            let nominal = nominal.min(policy.max_backoff.as_micros() as f64);
+            let lo = nominal * (1.0 - policy.jitter / 2.0);
+            let hi = nominal * (1.0 + policy.jitter / 2.0);
+            let got = da.as_micros() as f64;
+            assert!(got >= lo - 1.0 && got <= hi + 1.0, "delay {got} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn verdicts_distinguish_unreachable_from_inconclusive() {
+        let w = world();
+        let host = w.initially_vulnerable_hosts()[0];
+        let mut prober = Prober::new(&w, "s06");
+        let mut outcome = prober.probe(host, 0, ProbeTest::BlankMsg, 0);
+        for _ in 0..6 {
+            if outcome.spf_measured() {
+                break;
+            }
+            outcome = prober.probe(host, 0, ProbeTest::BlankMsg, 0);
+        }
+        assert_eq!(outcome.verdict(), ProbeVerdict::Vulnerable);
+
+        // A tempfail is transient: the host was reachable but the probe is
+        // unreachable-for-now rather than conclusively unmeasurable.
+        let faulty = ProbeOptions {
+            faults: FaultProfile {
+                smtp: FaultPlan::smtp_tempfail(1.0),
+                ..FaultProfile::NONE
+            },
+            retry: RetryPolicy::NONE,
+        };
+        let ctx = ProbeContext::isolated(&w);
+        let mut prober = Prober::with_options(&w, "s07", ctx, 64, faulty);
+        let outcome = prober.probe(host, 0, ProbeTest::BlankMsg, 0);
+        assert!(!outcome.spf_measured());
+        assert_eq!(outcome.probe_error(), Some(ProbeError::SmtpTempFail(421)));
+        assert_eq!(outcome.verdict(), ProbeVerdict::Unreachable);
+    }
+
+    #[test]
+    fn retry_recovers_probes_lost_to_dns_timeouts() {
+        let w = world();
+        let host = w.initially_vulnerable_hosts()[0];
+        // Heavy loss: most lookups time out end-to-end, so many probes
+        // fail to measure on their first attempt.
+        let faults = FaultProfile {
+            dns: FaultPlan::dns_timeout(0.9),
+            ..FaultProfile::NONE
+        };
+        let no_retry = ProbeOptions {
+            faults,
+            retry: RetryPolicy::NONE,
+        };
+        let with_retry = ProbeOptions {
+            faults,
+            retry: RetryPolicy {
+                max_attempts: 5,
+                deadline: None,
+                ..RetryPolicy::standard()
+            },
+        };
+        let measure = |opts: ProbeOptions, suite: &str| {
+            let ctx = ProbeContext::isolated(&w);
+            let mut prober = Prober::with_options(&w, suite, ctx, 64, opts);
+            let mut measured = 0u32;
+            for _ in 0..12 {
+                let (outcome, _) = prober.probe_with_retry(host, 0, ProbeTest::BlankMsg, 0);
+                if outcome.spf_measured() {
+                    measured += 1;
+                }
+            }
+            (measured, prober.metrics().snapshot())
+        };
+        let (bare, bare_metrics) = measure(no_retry, "s08");
+        let (retried, retry_metrics) = measure(with_retry, "s08");
+        assert!(
+            retried >= bare,
+            "retry must not lose probes: {retried} < {bare}"
+        );
+        assert_eq!(bare_metrics.probe_retries, 0);
+        assert!(retry_metrics.probe_retries > 0, "faults should trigger retries");
+        assert!(
+            retry_metrics.probes_recovered > 0,
+            "some retried probes should recover"
+        );
+    }
+
+    #[test]
+    fn retry_respects_deadline_and_attempt_budget() {
+        let w = world();
+        let host = w.initially_vulnerable_hosts()[0];
+        let faults = FaultProfile {
+            smtp: FaultPlan::smtp_tempfail(1.0),
+            ..FaultProfile::NONE
+        };
+        // Attempt budget binds first.
+        let opts = ProbeOptions {
+            faults,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::standard()
+            },
+        };
+        let ctx = ProbeContext::isolated(&w);
+        let mut prober = Prober::with_options(&w, "s09", ctx, 64, opts);
+        let (outcome, attempts) = prober.probe_with_retry(host, 0, ProbeTest::BlankMsg, 0);
+        assert_eq!(attempts, 3);
+        assert!(!outcome.spf_measured());
+        assert_eq!(outcome.verdict(), ProbeVerdict::Unreachable);
+
+        // A zero deadline stops after the first attempt even though the
+        // attempt budget would allow more.
+        let opts = ProbeOptions {
+            faults,
+            retry: RetryPolicy {
+                max_attempts: 5,
+                deadline: Some(SimDuration::ZERO),
+                ..RetryPolicy::standard()
+            },
+        };
+        let ctx = ProbeContext::isolated(&w);
+        let mut prober = Prober::with_options(&w, "s10", ctx, 64, opts);
+        let (_, attempts) = prober.probe_with_retry(host, 0, ProbeTest::BlankMsg, 0);
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn window_closed_hosts_consume_timeout_time() {
+        let w = world();
+        let host = w.initially_vulnerable_hosts()[0];
+        // A window that is always closed.
+        let opts = ProbeOptions {
+            faults: FaultProfile {
+                flaky_fraction: 1.0,
+                window: Some(FlakyWindow::new(SimDuration::from_mins(60), 0.0)),
+                ..FaultProfile::NONE
+            },
+            retry: RetryPolicy::NONE,
+        };
+        let ctx = ProbeContext::isolated(&w);
+        let mut prober = Prober::with_options(&w, "s11", ctx, 64, opts);
+        let before = prober.ctx.clock.now();
+        let outcome = prober.probe(host, 0, ProbeTest::BlankMsg, 0);
+        let elapsed = prober.ctx.clock.now().since(before);
+        assert!(!outcome.spf_measured());
+        assert_eq!(outcome.verdict(), ProbeVerdict::Unreachable);
+        assert!(
+            elapsed >= CONNECT_TIMEOUT,
+            "a dark host must cost timeout time, got {elapsed:?}"
+        );
+        assert!(prober.metrics().snapshot().window_closed_probes >= 1);
     }
 }

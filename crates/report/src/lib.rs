@@ -6,6 +6,7 @@
 //! * [`table`] — plain-text table rendering.
 //! * [`series`] — time-series containers and a text sparkline renderer.
 //! * [`tables`] — Tables 1–7.
+//! * [`resilience`] — fault-injection recall figure (not in the paper).
 //! * [`figures`] — Figures 2–8 and the §7.7 notification funnel.
 //!
 //! The `experiments` binary drives everything:
@@ -21,6 +22,7 @@
 
 pub mod figures;
 pub mod pipeline;
+pub mod resilience;
 pub mod series;
 pub mod stats;
 pub mod table;
@@ -65,6 +67,7 @@ pub fn all_exhibits(ctx: &Context) -> Vec<Exhibit> {
         figures::fig8(ctx),
         figures::notification_funnel(ctx),
         figures::attribution(ctx),
+        resilience::resilience(ctx),
     ]
 }
 

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 
 use spfail_notify::{NotificationCampaign, NotificationRecord, NotificationReport, PixelLog};
-use spfail_prober::{Campaign, CampaignData, HostClass, HostInitialResult};
+use spfail_prober::{CampaignBuilder, CampaignData, HostClass, HostInitialResult};
 use spfail_world::{DomainId, HostId, World, WorldConfig};
 
 /// The domain groups the paper reports on.
@@ -56,7 +56,7 @@ impl Context {
             scale,
             ..WorldConfig::default()
         });
-        let campaign = Campaign::run(&world);
+        let campaign = CampaignBuilder::new().run(&world).data;
         let mut pixels = PixelLog::new();
         // The notification list is the *measured* vulnerable set — domains
         // hosted on addresses whose initial probe showed the fingerprint —

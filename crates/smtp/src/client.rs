@@ -12,6 +12,8 @@
 //! [`ClientRunner`] is the sans-IO mirror of the server session: the caller
 //! feeds it replies and it yields the next [`ClientAction`].
 
+use spfail_netsim::ProbeError;
+
 use crate::address::EmailAddress;
 use crate::command::Command;
 use crate::reply::{Reply, ReplyCategory};
@@ -60,6 +62,8 @@ pub enum TransactionOutcome {
         /// The reply code.
         code: u16,
     },
+    /// The connection was reset mid-session (injected network fault).
+    ConnectionReset,
     /// NoMsg probe ran to plan: the server accepted `DATA` and the client
     /// aborted before any message bytes.
     NoMsgCompleted,
@@ -86,6 +90,27 @@ impl TransactionOutcome {
     /// Whether this is a transient (retryable) conclusion.
     pub fn is_transient(&self) -> bool {
         matches!(self, TransactionOutcome::Transient { .. })
+    }
+
+    /// Map this conclusion into the stack-wide [`ProbeError`] vocabulary,
+    /// or `None` when the transaction ran to plan.
+    ///
+    /// A `Transient` with code 0 is a connect-level timeout (a flaky host
+    /// or a closed reachability window), not a server reply.
+    pub fn probe_error(&self) -> Option<ProbeError> {
+        match self {
+            TransactionOutcome::Transient { code: 0, .. } => Some(ProbeError::ConnectTimeout),
+            TransactionOutcome::Transient { code, .. } => Some(ProbeError::SmtpTempFail(*code)),
+            TransactionOutcome::ConnectionReset => Some(ProbeError::ConnectionReset),
+            TransactionOutcome::RejectedAtConnect(code)
+            | TransactionOutcome::RejectedAtHello(code)
+            | TransactionOutcome::RejectedAtMailFrom(code)
+            | TransactionOutcome::RejectedAtRcpt(code)
+            | TransactionOutcome::RejectedAtData(code) => Some(ProbeError::SmtpReject(*code)),
+            TransactionOutcome::NoMsgCompleted
+            | TransactionOutcome::MessageAccepted(_)
+            | TransactionOutcome::MessageRejected(_) => None,
+        }
     }
 }
 

@@ -44,4 +44,4 @@ pub use geo::GeoPoint;
 pub use hosting::{HostId, HostProfile, HostRecord, PatchCause};
 pub use pkgmgr::{PackageManager, PkgTimelineRow, PACKAGE_TIMELINE};
 pub use timeline::Timeline;
-pub use world::World;
+pub use world::{MtaInstrumentation, World};

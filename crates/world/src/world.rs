@@ -6,7 +6,7 @@ use std::sync::Arc;
 use spfail_dns::{Directory, Name, QueryLog, SpfTestAuthority};
 use spfail_libspf2::MacroBehavior;
 use spfail_mta::{ConnectPolicy, Mta, SpfStage};
-use spfail_netsim::{SimClock, SimRng};
+use spfail_netsim::{FaultPlan, LatencyModel, Link, Metrics, SimClock, SimRng};
 
 use crate::config::WorldConfig;
 use crate::domains::{DomainId, DomainRecord, SetMembership, TldSampler};
@@ -33,6 +33,21 @@ pub struct World {
     /// The measurement zone origin (`spf-test.dns-lab.org`).
     pub zone_origin: Name,
     rng_root: SimRng,
+}
+
+/// Fault-injection hooks for [`World::build_mta_instrumented`].
+#[derive(Debug, Clone)]
+pub struct MtaInstrumentation<'a> {
+    /// Fault plan applied to the MTA's resolver link.
+    pub dns_faults: FaultPlan,
+    /// Counter sink the resolver link records into.
+    pub metrics: Metrics,
+    /// Optional salt forked into the MTA's RNG stream. The prober passes
+    /// its probe identity here when DNS faults are active, so a *retried*
+    /// probe re-rolls the fault dice instead of replaying the same
+    /// timeout forever. With `None` the stream depends only on the host
+    /// id, exactly as [`World::build_mta_in`] always derived it.
+    pub reroll: Option<&'a str>,
 }
 
 impl World {
@@ -265,15 +280,50 @@ impl World {
         directory: Directory,
         clock: SimClock,
     ) -> Mta {
+        self.build_mta_instrumented(
+            host,
+            day,
+            directory,
+            clock,
+            MtaInstrumentation {
+                dns_faults: FaultPlan::NONE,
+                metrics: Metrics::new(),
+                reroll: None,
+            },
+        )
+    }
+
+    /// [`World::build_mta_in`] with the fault-injection hooks wired up:
+    /// the MTA's resolver queries over a zero-latency link carrying the
+    /// instrumentation's fault plan and recording into its metrics.
+    pub fn build_mta_instrumented(
+        &self,
+        host: HostId,
+        day: u16,
+        directory: Directory,
+        clock: SimClock,
+        instrumentation: MtaInstrumentation<'_>,
+    ) -> Mta {
         let record = self.host(host);
         let hostname = format!("mx{}.{}", host.0, record.primary_tld);
         let config = record.profile.mta_config(&hostname, day);
-        Mta::new(
+        let link = Link::new(
+            LatencyModel::ZERO,
+            instrumentation.dns_faults,
+            clock.clone(),
+            instrumentation.metrics,
+        );
+        let mut rng = self.rng_root.fork_idx("mta", u64::from(host.0));
+        if let Some(salt) = instrumentation.reroll {
+            rng = rng.fork(salt);
+        }
+        Mta::with_dns_link(
             config,
             std::net::IpAddr::V4(record.ip),
             directory,
+            link,
             clock,
-            self.rng_root.fork_idx("mta", u64::from(host.0)),
+            rng,
         )
     }
 

@@ -7,7 +7,7 @@
 //! cargo run -p spfail --release --example counterfactuals
 //! ```
 
-use spfail::prober::{Campaign, SnapshotStatus};
+use spfail::prober::{CampaignBuilder, SnapshotStatus};
 use spfail::world::{World, WorldConfig};
 
 struct Scenario {
@@ -77,7 +77,7 @@ fn main() {
     println!("{}", "-".repeat(80));
     for scenario in scenarios {
         let world = World::generate(scenario.config);
-        let data = Campaign::run(&world);
+        let data = CampaignBuilder::new().run(&world).data;
         let patched_by = |day: u16| {
             data.tracked
                 .iter()

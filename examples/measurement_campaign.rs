@@ -6,40 +6,70 @@
 //! ```text
 //! cargo run -p spfail --release --example measurement_campaign
 //! cargo run -p spfail --release --example measurement_campaign -- --shards 4
+//! cargo run -p spfail --release --example measurement_campaign -- \
+//!     --shards 4 --dns-drop 0.1 --retry
 //! ```
 //!
 //! `--shards N` runs the campaign on the sharded parallel engine; the
 //! result is bit-for-bit identical for every `N` (see tests/parallel.rs).
+//! `--dns-drop P` injects DNS datagram loss with probability `P` on every
+//! probed host's resolver path, and `--retry` answers the induced
+//! transient failures with the standard backoff policy.
 
+use spfail::netsim::{FaultPlan, FaultProfile};
 use spfail::notify::{NotificationCampaign, PixelLog};
-use spfail::prober::{Campaign, SnapshotStatus};
+use spfail::prober::{CampaignBuilder, RetryPolicy, SnapshotStatus};
 use spfail::world::{Timeline, World, WorldConfig};
 
-/// Parse `--shards N` from the command line (0 or absent = sequential).
-fn shards_from_args() -> usize {
+/// Command-line options: `--shards N`, `--dns-drop P`, `--retry`.
+struct Options {
+    shards: usize,
+    dns_drop: f64,
+    retry: bool,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        shards: 0,
+        dns_drop: 0.0,
+        retry: false,
+    };
     let mut args = std::env::args().skip(1);
+    let bad = |flag: &str, wants: &str| -> ! {
+        eprintln!("{flag} expects {wants}");
+        std::process::exit(2);
+    };
     while let Some(arg) = args.next() {
-        if arg == "--shards" {
-            return args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("--shards expects a positive integer");
-                    std::process::exit(2);
-                });
-        }
-        if let Some(v) = arg.strip_prefix("--shards=") {
-            return v.parse().unwrap_or_else(|_| {
-                eprintln!("--shards expects a positive integer");
-                std::process::exit(2);
-            });
+        let mut value = |flag: &str, wants: &str| -> String {
+            arg.strip_prefix(&format!("{flag}="))
+                .map(str::to_string)
+                .or_else(|| args.next())
+                .unwrap_or_else(|| bad(flag, wants))
+        };
+        if arg == "--shards" || arg.starts_with("--shards=") {
+            let wants = "a positive integer";
+            opts.shards = value("--shards", wants)
+                .parse()
+                .ok()
+                .filter(|&n: &usize| n > 0)
+                .unwrap_or_else(|| bad("--shards", wants));
+        } else if arg == "--dns-drop" || arg.starts_with("--dns-drop=") {
+            let wants = "a probability in [0, 1]";
+            opts.dns_drop = value("--dns-drop", wants)
+                .parse()
+                .ok()
+                .filter(|p| (0.0..=1.0).contains(p))
+                .unwrap_or_else(|| bad("--dns-drop", wants));
+        } else if arg == "--retry" {
+            opts.retry = true;
         }
     }
-    0
+    opts
 }
 
 fn main() {
-    let shards = shards_from_args();
+    let options = parse_args();
+    let shards = options.shards;
     let config = WorldConfig {
         scale: 0.02,
         ..WorldConfig::default()
@@ -57,17 +87,40 @@ fn main() {
     );
 
     println!("running the initial sweep ({})...", Timeline::date_label(0));
-    let data = if shards > 1 {
+    if shards > 1 {
         println!("  (sharded engine, {shards} parallel workers)");
-        Campaign::run_sharded(&world, shards)
-    } else {
-        Campaign::run(&world)
-    };
+    }
+    let mut builder = CampaignBuilder::new().shards(shards);
+    if options.dns_drop > 0.0 {
+        println!(
+            "  (injecting DNS datagram loss at {:.0}%{})",
+            options.dns_drop * 100.0,
+            if options.retry {
+                ", answered with retries"
+            } else {
+                ", no retries"
+            }
+        );
+        builder = builder.faults(FaultProfile {
+            dns: FaultPlan::dns_timeout(options.dns_drop),
+            ..FaultProfile::NONE
+        });
+    }
+    if options.retry {
+        builder = builder.retry(RetryPolicy::standard());
+    }
+    let data = builder.run(&world).data;
     println!(
         "  {} addresses measured vulnerable, hosting {} domains",
         data.tracked.len(),
         data.vulnerable_domains.len()
     );
+    if data.network.probe_retries > 0 {
+        println!(
+            "  network faults: {} DNS timeouts, {} retries, {} probes recovered",
+            data.network.dns_timeouts, data.network.probe_retries, data.network.probes_recovered
+        );
+    }
 
     println!(
         "longitudinal rounds: {} measurements every {} days across two windows",

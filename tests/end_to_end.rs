@@ -129,8 +129,9 @@ fn all_exhibits_build_and_are_nonempty() {
     let exhibits = all_exhibits(ctx);
     assert_eq!(
         exhibits.len(),
-        16,
-        "7 tables + 7 figures + the funnel + the attribution extension"
+        17,
+        "7 tables + 7 figures + the funnel + the attribution and \
+         resilience extensions"
     );
     for exhibit in &exhibits {
         assert!(

@@ -3,7 +3,7 @@
 //! network behaves badly — in the spirit of smoltcp's adverse-condition
 //! examples.
 
-use spfail::prober::{Campaign, RoundStatus};
+use spfail::prober::{CampaignBuilder, RoundStatus};
 use spfail::world::{World, WorldConfig};
 
 fn hostile_world(seed: u64) -> World {
@@ -24,7 +24,7 @@ fn hostile_world(seed: u64) -> World {
 #[test]
 fn no_false_positives_under_heavy_faults() {
     let world = hostile_world(0xFA01);
-    let data = Campaign::run(&world);
+    let data = CampaignBuilder::new().run(&world).data;
     for &host in &data.tracked {
         assert!(
             world.host(host).profile.initially_vulnerable(),
@@ -36,7 +36,7 @@ fn no_false_positives_under_heavy_faults() {
 #[test]
 fn longitudinal_never_regresses_under_faults() {
     let world = hostile_world(0xFA02);
-    let data = Campaign::run(&world);
+    let data = CampaignBuilder::new().run(&world).data;
     for &host in &data.tracked {
         let profile = &world.host(host).profile;
         // A round measured "Patched" must never precede the host's true
@@ -65,7 +65,7 @@ fn longitudinal_never_regresses_under_faults() {
 #[test]
 fn conclusiveness_degrades_but_campaign_completes() {
     let world = hostile_world(0xFA03);
-    let data = Campaign::run(&world);
+    let data = CampaignBuilder::new().run(&world).data;
     assert!(!data.rounds.is_empty());
     // With 90% of hosts blacklisting, late rounds must be mostly
     // inconclusive — the Figure 5 decay, exaggerated.
@@ -92,7 +92,7 @@ fn conclusiveness_degrades_but_campaign_completes() {
 #[test]
 fn greylisting_does_not_break_the_initial_sweep() {
     let world = hostile_world(0xFA04);
-    let data = Campaign::run(&world);
+    let data = CampaignBuilder::new().run(&world).data;
     // Greylisting hosts are retried after 8 minutes; with 40% of hosts
     // greylisting, the sweep must still measure a healthy share of the
     // truly vulnerable, reachable hosts.
@@ -121,8 +121,8 @@ fn greylisting_does_not_break_the_initial_sweep() {
 
 #[test]
 fn deterministic_even_under_faults() {
-    let a = Campaign::run(&hostile_world(0xFA05));
-    let b = Campaign::run(&hostile_world(0xFA05));
+    let a = CampaignBuilder::new().run(&hostile_world(0xFA05)).data;
+    let b = CampaignBuilder::new().run(&hostile_world(0xFA05)).data;
     assert_eq!(a.tracked, b.tracked);
     assert_eq!(a.snapshot.len(), b.snapshot.len());
     for (x, y) in a.rounds.iter().zip(b.rounds.iter()) {

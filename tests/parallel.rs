@@ -1,6 +1,6 @@
 //! Shard-count invariance of the parallel campaign engine.
 //!
-//! `Campaign::run_sharded(world, n)` partitions the tracked hosts across
+//! `CampaignBuilder::new().shards(n)` partitions the tracked hosts across
 //! `n` workers, each probing through an isolated DNS directory, query
 //! log, and clock. Because every probe draws its randomness from a
 //! stream derived from the probe's own identity, and hosts carry their
@@ -10,7 +10,7 @@
 
 use std::collections::BTreeMap;
 
-use spfail_prober::{Campaign, CampaignData, RoundStatus};
+use spfail_prober::{CampaignBuilder, CampaignData, RoundStatus};
 use spfail_world::{DomainId, HostId, Timeline, World, WorldConfig};
 
 fn build_world(seed: u64, scale: f64) -> World {
@@ -95,14 +95,14 @@ fn assert_equivalent(reference: &CampaignData, sharded: &CampaignData, label: &s
 fn sharded_engine_matches_sequential_for_all_shard_counts() {
     for &seed in &[11u64, 2024, 77] {
         for &scale in &[0.002f64, 0.004] {
-            let reference = Campaign::run(&build_world(seed, scale));
+            let reference = CampaignBuilder::new().run(&build_world(seed, scale)).data;
             assert!(
                 !reference.tracked.is_empty(),
                 "seed={seed} scale={scale}: fixture must track some hosts"
             );
             for &shards in &[1usize, 2, 4, 8] {
                 let world = build_world(seed, scale);
-                let sharded = Campaign::run_sharded(&world, shards);
+                let sharded = CampaignBuilder::new().shards(shards).run(&world).data;
                 assert_equivalent(
                     &reference,
                     &sharded,
@@ -115,24 +115,45 @@ fn sharded_engine_matches_sequential_for_all_shard_counts() {
 
 #[test]
 fn sharded_runs_are_reproducible_across_repeats() {
-    let first = Campaign::run_sharded(&build_world(5, 0.003), 4);
-    let second = Campaign::run_sharded(&build_world(5, 0.003), 4);
+    let first = CampaignBuilder::new().shards(4).run(&build_world(5, 0.003)).data;
+    let second = CampaignBuilder::new().shards(4).run(&build_world(5, 0.003)).data;
     assert_eq!(first, second, "same seed + shard count must reproduce");
 }
 
 #[test]
 fn shard_count_beyond_host_count_still_matches() {
     let world = build_world(9, 0.002);
-    let reference = Campaign::run(&build_world(9, 0.002));
+    let reference = CampaignBuilder::new().run(&build_world(9, 0.002)).data;
     // More shards than tracked hosts leaves some workers idle; the
     // merge must not care.
-    let sharded = Campaign::run_sharded(&world, 64);
+    let sharded = CampaignBuilder::new().shards(64).run(&world).data;
     assert_eq!(reference, sharded);
+}
+
+/// The deprecated `Campaign::run*` wrappers stay exact aliases of the
+/// builder's default configuration for their one grace release.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_the_builder() {
+    use spfail_prober::Campaign;
+    let reference = CampaignBuilder::new().run(&build_world(3, 0.002)).data;
+    assert_eq!(reference, Campaign::run(&build_world(3, 0.002)));
+    assert_eq!(reference, Campaign::run_sharded(&build_world(3, 0.002), 2));
+    let (data, timing) = Campaign::run_timed(&build_world(3, 0.002));
+    assert_eq!(reference, data);
+    let timed = CampaignBuilder::new()
+        .timed()
+        .run(&build_world(3, 0.002))
+        .timing
+        .expect("timed run");
+    assert_eq!(timing, timed);
+    let (data, _) = Campaign::run_sharded_timed(&build_world(3, 0.002), 2);
+    assert_eq!(reference, data);
 }
 
 #[test]
 fn sharded_engine_leaves_world_clock_at_snapshot_day() {
     let world = build_world(11, 0.002);
-    let _ = Campaign::run_sharded(&world, 4);
+    let _ = CampaignBuilder::new().shards(4).run(&world);
     assert_eq!(world.clock.now(), Timeline::day_to_time(Timeline::END));
 }
