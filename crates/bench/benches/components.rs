@@ -80,12 +80,12 @@ fn bench_spf(c: &mut Criterion) {
                     name.clone(),
                     60,
                     RData::txt(&format!("v=spf1 a:%{{d1r}}.{n} a:b.{n} -all", n = name)),
-                )])),
+                )].into())),
                 RecordType::A => Ok(LookupOutcome::Records(vec![Record::new(
                     name.clone(),
                     60,
                     RData::A("192.0.2.200".parse().expect("ip")),
-                )])),
+                )].into())),
                 _ => Ok(LookupOutcome::NoRecords),
             }
         }

@@ -249,7 +249,7 @@ mod tests {
             let direct = shortcut.resolve(&mut rng, &n(qname), rtype).unwrap();
             match direct {
                 LookupOutcome::Records(records) => {
-                    assert_eq!(walked.response.answers, records, "{qname}");
+                    assert_eq!(walked.response.answers[..], records[..], "{qname}");
                 }
                 other => panic!("unexpected {other:?}"),
             }

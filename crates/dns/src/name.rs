@@ -1,19 +1,43 @@
 //! Domain names with RFC 1035 label semantics.
 //!
-//! Names are stored as a sequence of ASCII labels. Comparisons and hashing
-//! are case-insensitive, as required by RFC 1035 §2.3.3, while the original
-//! spelling is preserved for display. Label and name length limits are
-//! enforced at construction so the wire encoder never has to fail on an
-//! oversized name.
+//! A [`Name`] stores its labels as a single buffer in DNS wire form —
+//! length-prefixed labels, without the trailing root octet — so the hot
+//! paths never touch a per-label `String`:
+//!
+//! * names up to [`INLINE_NAME_CAP`] wire bytes live inline in the value
+//!   (no heap at all); longer names share one `Arc<[u8]>` allocation;
+//! * `clone()` is a small memcpy or a reference-count bump, never a heap
+//!   allocation;
+//! * a canonical (ASCII-lowercased) copy of the wire bytes is computed
+//!   once at construction — and only when the spelling actually contains
+//!   uppercase — so equality, hashing, ordering and suffix tests are
+//!   case-insensitive (RFC 1035 §2.3.3, RFC 4343) byte comparisons with
+//!   no per-comparison folding allocations;
+//! * `parent()` of a shared name is a pure offset bump into the same
+//!   buffer.
+//!
+//! The original spelling is preserved for display. Label and name length
+//! limits are enforced at construction so the wire encoder never has to
+//! fail on an oversized name. The length-prefix framing is a prefix code,
+//! which is what makes whole-buffer comparison equivalent to
+//! label-by-label comparison.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Maximum length of a single label, per RFC 1035.
 pub const MAX_LABEL_LEN: usize = 63;
 /// Maximum length of a full name on the wire (labels + length octets + root).
 pub const MAX_NAME_LEN: usize = 255;
+/// Longest wire form (without root octet) stored inline, without heap.
+/// 38 bytes covers every fixed zone name and the expanded probe names of
+/// the measurement design (`<word>.<id>.<suite>.spf-test.dns-lab.org`).
+pub const INLINE_NAME_CAP: usize = 38;
+
+/// Wire bytes excluding the root octet can span at most this much.
+const MAX_WIRE_CONTENT: usize = MAX_NAME_LEN - 1;
 
 /// Errors constructing a [`Name`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,19 +65,49 @@ impl fmt::Display for NameError {
 
 impl std::error::Error for NameError {}
 
+/// Storage for the original-spelling wire bytes.
+#[derive(Clone)]
+enum Repr {
+    /// Short names live entirely in the value.
+    Inline {
+        /// Number of wire bytes used in `buf`.
+        len: u8,
+        /// Length-prefixed labels, no root octet.
+        buf: [u8; INLINE_NAME_CAP],
+    },
+    /// Long names share one allocation; `start` lets `parent()` reuse it.
+    Shared {
+        /// Length-prefixed labels of this name and possibly ancestors'
+        /// prefixes before `start`.
+        buf: Arc<[u8]>,
+        /// Offset of this name's first label within `buf`.
+        start: u16,
+    },
+}
+
 /// A fully qualified domain name.
 ///
 /// The root name has zero labels. `Name` values returned by the parser and
 /// all constructors are guaranteed to satisfy the RFC length limits.
-#[derive(Debug, Clone, Eq)]
+#[derive(Clone)]
 pub struct Name {
-    labels: Vec<String>,
+    repr: Repr,
+    /// Canonical (lowercased) wire bytes of the whole name, allocated once
+    /// at construction iff the spelling contains uppercase. `None` means
+    /// the spelling already is canonical.
+    canon: Option<Arc<[u8]>>,
 }
 
 impl Name {
     /// The root name (zero labels).
     pub fn root() -> Name {
-        Name { labels: Vec::new() }
+        Name {
+            repr: Repr::Inline {
+                len: 0,
+                buf: [0; INLINE_NAME_CAP],
+            },
+            canon: None,
+        }
     }
 
     /// Parse a dotted name. A single trailing dot is accepted and ignored;
@@ -63,13 +117,12 @@ impl Name {
         if s.is_empty() {
             return Ok(Name::root());
         }
-        let mut labels = Vec::new();
+        let mut wire = [0u8; MAX_WIRE_CONTENT];
+        let mut len = 0usize;
         for label in s.split('.') {
-            labels.push(Self::check_label(label)?);
+            len = Self::push_label(&mut wire, len, label)?;
         }
-        let name = Name { labels };
-        name.check_total_len()?;
-        Ok(name)
+        Ok(Self::from_wire_unchecked(&wire[..len]))
     }
 
     /// Construct from pre-split labels.
@@ -78,16 +131,32 @@ impl Name {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut labels = Vec::new();
+        let mut wire = [0u8; MAX_WIRE_CONTENT];
+        let mut len = 0usize;
         for label in iter {
-            labels.push(Self::check_label(label.as_ref())?);
+            len = Self::push_label(&mut wire, len, label.as_ref())?;
         }
-        let name = Name { labels };
-        name.check_total_len()?;
-        Ok(name)
+        Ok(Self::from_wire_unchecked(&wire[..len]))
     }
 
-    fn check_label(label: &str) -> Result<String, NameError> {
+    /// Validate `label` and append it (length-prefixed) to `wire` at
+    /// offset `len`, returning the new offset.
+    fn push_label(
+        wire: &mut [u8; MAX_WIRE_CONTENT],
+        len: usize,
+        label: &str,
+    ) -> Result<usize, NameError> {
+        Self::check_label(label)?;
+        let next = len + 1 + label.len();
+        if next > MAX_WIRE_CONTENT {
+            return Err(NameError::NameTooLong);
+        }
+        wire[len] = label.len() as u8;
+        wire[len + 1..next].copy_from_slice(label.as_bytes());
+        Ok(next)
+    }
+
+    fn check_label(label: &str) -> Result<(), NameError> {
         if label.is_empty() {
             return Err(NameError::EmptyLabel);
         }
@@ -95,148 +164,307 @@ impl Name {
             return Err(NameError::LabelTooLong(label.to_string()));
         }
         for &b in label.as_bytes() {
-            // Accept any printable ASCII except the label separator. SPF
-            // macro mishandling produces labels like `%{d1r}` that a strict
-            // hostname check would reject — and observing those on the wire
-            // is precisely the point of the measurement.
-            if !(0x21..=0x7e).contains(&b) || b == b'.' {
-                return Err(NameError::InvalidByte(b));
-            }
-        }
-        Ok(label.to_string())
-    }
-
-    fn check_total_len(&self) -> Result<(), NameError> {
-        if self.wire_len() > MAX_NAME_LEN {
-            return Err(NameError::NameTooLong);
+            Self::check_byte(b)?;
         }
         Ok(())
     }
 
+    /// Accept any printable ASCII except the label separator. SPF macro
+    /// mishandling produces labels like `%{d1r}` that a strict hostname
+    /// check would reject — and observing those on the wire is precisely
+    /// the point of the measurement.
+    fn check_byte(b: u8) -> Result<(), NameError> {
+        if !(0x21..=0x7e).contains(&b) || b == b'.' {
+            return Err(NameError::InvalidByte(b));
+        }
+        Ok(())
+    }
+
+    /// Build a `Name` from already-validated wire bytes (length-prefixed
+    /// labels, no root octet). Chooses inline vs shared storage and
+    /// computes the canonical form when the spelling has uppercase.
+    fn from_wire_unchecked(bytes: &[u8]) -> Name {
+        debug_assert!(bytes.len() <= MAX_WIRE_CONTENT);
+        // Length octets are <= 63 and thus never in `A..=Z`, so scanning
+        // and folding the whole buffer — framing included — is safe.
+        let canon = if bytes.iter().any(u8::is_ascii_uppercase) {
+            let mut lower = bytes.to_vec();
+            lower.make_ascii_lowercase();
+            Some(Arc::from(lower))
+        } else {
+            None
+        };
+        let repr = if bytes.len() <= INLINE_NAME_CAP {
+            let mut buf = [0u8; INLINE_NAME_CAP];
+            buf[..bytes.len()].copy_from_slice(bytes);
+            Repr::Inline {
+                len: bytes.len() as u8,
+                buf,
+            }
+        } else {
+            Repr::Shared {
+                buf: Arc::from(bytes),
+                start: 0,
+            }
+        };
+        Name { repr, canon }
+    }
+
+    /// Construct from wire bytes (length-prefixed labels, no root octet),
+    /// validating label bytes and length limits. Used by the wire decoder
+    /// so no per-label `String` is ever allocated on decode.
+    pub(crate) fn from_wire(bytes: &[u8]) -> Result<Name, NameError> {
+        if bytes.len() > MAX_WIRE_CONTENT {
+            return Err(NameError::NameTooLong);
+        }
+        let mut pos = 0usize;
+        while pos < bytes.len() {
+            let len = bytes[pos] as usize;
+            if len == 0 {
+                return Err(NameError::EmptyLabel);
+            }
+            let end = pos + 1 + len;
+            if end > bytes.len() {
+                // A dangling length octet would break the framing the
+                // whole representation relies on.
+                return Err(NameError::EmptyLabel);
+            }
+            for &b in &bytes[pos + 1..end] {
+                Self::check_byte(b)?;
+            }
+            pos = end;
+        }
+        Ok(Self::from_wire_unchecked(bytes))
+    }
+
+    /// The wire bytes in the original spelling (length-prefixed labels,
+    /// without the trailing root octet).
+    pub(crate) fn wire_bytes(&self) -> &[u8] {
+        match &self.repr {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Shared { buf, start } => &buf[*start as usize..],
+        }
+    }
+
+    /// The canonical (lowercased) wire bytes. Shared by equality,
+    /// hashing, ordering and the suffix tests, so all of them agree on
+    /// case-insensitivity without folding anything per call.
+    pub(crate) fn canonical_bytes(&self) -> &[u8] {
+        match &self.canon {
+            Some(c) => c,
+            None => self.wire_bytes(),
+        }
+    }
+
     /// Length of this name in RFC 1035 wire form (uncompressed).
     pub fn wire_len(&self) -> usize {
-        self.labels.iter().map(|l| l.len() + 1).sum::<usize>() + 1
+        self.wire_bytes().len() + 1
     }
 
     /// Number of labels (the root has zero).
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.labels().count()
     }
 
     /// Whether this is the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.wire_bytes().is_empty()
     }
 
-    /// The labels, leftmost (deepest) first.
-    pub fn labels(&self) -> &[String] {
-        &self.labels
+    /// Iterate over the labels, leftmost (deepest) first, in the original
+    /// spelling. No allocation.
+    pub fn labels(&self) -> Labels<'_> {
+        Labels {
+            rest: self.wire_bytes(),
+        }
     }
 
     /// The leftmost label, if any.
     pub fn first_label(&self) -> Option<&str> {
-        self.labels.first().map(String::as_str)
+        self.labels().next()
     }
 
     /// The top-level domain (rightmost label), lowercased, if any.
     pub fn tld(&self) -> Option<String> {
-        self.labels.last().map(|l| l.to_ascii_lowercase())
+        self.labels().last().map(|l| l.to_ascii_lowercase())
     }
 
     /// The parent name (this name minus its leftmost label). The root's
-    /// parent is the root.
+    /// parent is the root. For shared storage this is an offset bump into
+    /// the same buffer — no copy.
     pub fn parent(&self) -> Name {
-        if self.labels.is_empty() {
+        let bytes = self.wire_bytes();
+        if bytes.is_empty() {
             return Name::root();
         }
-        Name {
-            labels: self.labels[1..].to_vec(),
-        }
+        let skip = 1 + bytes[0] as usize;
+        let repr = match &self.repr {
+            Repr::Inline { len, buf } => {
+                let new_len = *len as usize - skip;
+                let mut new_buf = [0u8; INLINE_NAME_CAP];
+                new_buf[..new_len].copy_from_slice(&buf[skip..*len as usize]);
+                Repr::Inline {
+                    len: new_len as u8,
+                    buf: new_buf,
+                }
+            }
+            Repr::Shared { buf, start } => Repr::Shared {
+                buf: buf.clone(),
+                start: start + skip as u16,
+            },
+        };
+        // The parent only needs a canonical copy when uppercase survives
+        // the cut; `canon == None` already implies an all-lowercase name.
+        let canon = if bytes[skip..].iter().any(u8::is_ascii_uppercase) {
+            self.canon.as_ref().map(|c| Arc::from(&c[skip..]))
+        } else {
+            None
+        };
+        Name { repr, canon }
     }
 
     /// Prepend a single label, returning the child name.
     pub fn child(&self, label: &str) -> Result<Name, NameError> {
-        let mut labels = vec![Self::check_label(label)?];
-        labels.extend(self.labels.iter().cloned());
-        let name = Name { labels };
-        name.check_total_len()?;
-        Ok(name)
+        Self::check_label(label)?;
+        let bytes = self.wire_bytes();
+        let total = 1 + label.len() + bytes.len();
+        if total > MAX_WIRE_CONTENT {
+            return Err(NameError::NameTooLong);
+        }
+        let mut wire = [0u8; MAX_WIRE_CONTENT];
+        wire[0] = label.len() as u8;
+        wire[1..1 + label.len()].copy_from_slice(label.as_bytes());
+        wire[1 + label.len()..total].copy_from_slice(bytes);
+        Ok(Self::from_wire_unchecked(&wire[..total]))
     }
 
     /// Concatenate: `self` prepended to `suffix` (i.e. `self.suffix`).
     pub fn concat(&self, suffix: &Name) -> Result<Name, NameError> {
-        let mut labels = self.labels.clone();
-        labels.extend(suffix.labels.iter().cloned());
-        let name = Name { labels };
-        name.check_total_len()?;
-        Ok(name)
+        let a = self.wire_bytes();
+        let b = suffix.wire_bytes();
+        let total = a.len() + b.len();
+        if total > MAX_WIRE_CONTENT {
+            return Err(NameError::NameTooLong);
+        }
+        let mut wire = [0u8; MAX_WIRE_CONTENT];
+        wire[..a.len()].copy_from_slice(a);
+        wire[a.len()..total].copy_from_slice(b);
+        Ok(Self::from_wire_unchecked(&wire[..total]))
+    }
+
+    /// Offset of the label boundary where `suffix` begins inside `self`'s
+    /// canonical bytes, or `None` when `self` is not `suffix` or under it.
+    /// Walking boundaries (instead of `ends_with`) is what keeps
+    /// `badexample.com` out of `example.com` — and guards against content
+    /// bytes that happen to collide with length octets, which printable
+    /// labels like `%{d1r}` can produce.
+    fn suffix_start(&self, suffix: &Name) -> Option<usize> {
+        let sc = self.canonical_bytes();
+        let oc = suffix.canonical_bytes();
+        if oc.len() > sc.len() {
+            return None;
+        }
+        let mut pos = 0usize;
+        while sc.len() - pos > oc.len() {
+            pos += 1 + sc[pos] as usize;
+            if pos > sc.len() {
+                return None;
+            }
+        }
+        (sc.len() - pos == oc.len() && sc[pos..] == *oc).then_some(pos)
     }
 
     /// Case-insensitive test for whether `self` equals `other` or is a
     /// subdomain of it. Every name is under the root.
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        if other.labels.len() > self.labels.len() {
-            return false;
-        }
-        let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..]
-            .iter()
-            .zip(other.labels.iter())
-            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        self.suffix_start(other).is_some()
     }
 
     /// Strip `suffix` from the end of the name, returning the remaining
-    /// prefix labels (deepest first), or `None` when `self` is not under
-    /// `suffix`.
+    /// prefix labels (deepest first, original spelling), or `None` when
+    /// `self` is not under `suffix`.
     pub fn strip_suffix(&self, suffix: &Name) -> Option<Vec<String>> {
-        if !self.is_subdomain_of(suffix) {
-            return None;
+        let boundary = self.suffix_start(suffix)?;
+        let bytes = self.wire_bytes();
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos < boundary {
+            let len = bytes[pos] as usize;
+            out.push(
+                std::str::from_utf8(&bytes[pos + 1..pos + 1 + len])
+                    .expect("labels are printable ASCII")
+                    .to_string(),
+            );
+            pos += 1 + len;
         }
-        let keep = self.labels.len() - suffix.labels.len();
-        Some(self.labels[..keep].to_vec())
+        Some(out)
     }
 
-    /// A copy with all labels lowercased (canonical form).
+    /// A copy with all labels lowercased (canonical form). When the name
+    /// already carries a canonical buffer this shares it — no allocation.
     pub fn to_lowercase(&self) -> Name {
-        Name {
-            labels: self
-                .labels
-                .iter()
-                .map(|l| l.to_ascii_lowercase())
-                .collect(),
+        match &self.canon {
+            None => self.clone(),
+            Some(c) => Name {
+                repr: Repr::Shared {
+                    buf: c.clone(),
+                    start: 0,
+                },
+                canon: None,
+            },
         }
     }
 
     /// The canonical ASCII representation without a trailing dot; the root
     /// is rendered as `"."`.
     pub fn to_ascii(&self) -> String {
-        if self.labels.is_empty() {
-            ".".to_string()
-        } else {
-            self.labels.join(".")
+        if self.is_root() {
+            return ".".to_string();
         }
+        let mut out = String::with_capacity(self.wire_bytes().len());
+        for label in self.labels() {
+            if !out.is_empty() {
+                out.push('.');
+            }
+            out.push_str(label);
+        }
+        out
+    }
+}
+
+/// Iterator over a name's labels as `&str`, leftmost first. See
+/// [`Name::labels`].
+#[derive(Clone)]
+pub struct Labels<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for Labels<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        let (&len, rest) = self.rest.split_first()?;
+        let (label, rest) = rest.split_at(len as usize);
+        self.rest = rest;
+        Some(std::str::from_utf8(label).expect("labels are printable ASCII"))
     }
 }
 
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        self.labels.len() == other.labels.len()
-            && self
-                .labels
-                .iter()
-                .zip(other.labels.iter())
-                .all(|(a, b)| a.eq_ignore_ascii_case(b))
+        // Length-prefixed labels form a prefix code, so canonical-buffer
+        // equality is exactly case-insensitive label-sequence equality.
+        self.canonical_bytes() == other.canonical_bytes()
     }
 }
 
+impl std::cmp::Eq for Name {}
+
 impl Hash for Name {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        for label in &self.labels {
-            for b in label.as_bytes() {
-                state.write_u8(b.to_ascii_lowercase());
-            }
-            state.write_u8(0);
-        }
+        let c = self.canonical_bytes();
+        state.write_usize(c.len());
+        state.write(c);
     }
 }
 
@@ -246,28 +474,68 @@ impl PartialOrd for Name {
     }
 }
 
+/// Offsets of each label start within `bytes`. Wire content is <= 254
+/// bytes and every label takes >= 2, so a fixed stack array suffices.
+fn label_starts(bytes: &[u8]) -> ([u8; MAX_NAME_LEN / 2], usize) {
+    let mut starts = [0u8; MAX_NAME_LEN / 2];
+    let mut count = 0usize;
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        starts[count] = pos as u8;
+        count += 1;
+        pos += 1 + bytes[pos] as usize;
+    }
+    (starts, count)
+}
+
+fn label_at(bytes: &[u8], start: u8) -> &[u8] {
+    let start = start as usize;
+    let len = bytes[start] as usize;
+    &bytes[start + 1..start + 1 + len]
+}
+
 impl Ord for Name {
     /// Canonical DNS ordering: compare label sequences right-to-left,
     /// case-insensitively (RFC 4034 §6.1, simplified to ASCII).
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let a = self.labels.iter().rev();
-        let b = other.labels.iter().rev();
-        for (la, lb) in a.zip(b) {
-            let ord = la
-                .to_ascii_lowercase()
-                .as_bytes()
-                .cmp(lb.to_ascii_lowercase().as_bytes());
+        let a = self.canonical_bytes();
+        let b = other.canonical_bytes();
+        let (a_starts, a_count) = label_starts(a);
+        let (b_starts, b_count) = label_starts(b);
+        let mut i = a_count;
+        let mut j = b_count;
+        while i > 0 && j > 0 {
+            i -= 1;
+            j -= 1;
+            let ord = label_at(a, a_starts[i]).cmp(label_at(b, b_starts[j]));
             if ord != std::cmp::Ordering::Equal {
                 return ord;
             }
         }
-        self.labels.len().cmp(&other.labels.len())
+        a_count.cmp(&b_count)
     }
 }
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.to_ascii())
+        if self.is_root() {
+            return f.write_str(".");
+        }
+        let mut first = true;
+        for label in self.labels() {
+            if !first {
+                f.write_str(".")?;
+            }
+            first = false;
+            f.write_str(label)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
     }
 }
 
@@ -388,5 +656,85 @@ mod tests {
     #[test]
     fn lowercase_copy() {
         assert_eq!(n("FoO.CoM").to_lowercase().to_ascii(), "foo.com");
+    }
+
+    // ---- behaviours specific to the compact representation ----
+
+    /// A name beyond the inline capacity must behave identically to a
+    /// short one: this exercises the `Shared` storage arm everywhere.
+    fn long_name() -> Name {
+        n("some-quite-long-label.another-long-label.k7q2xyz.suite1.spf-test.dns-lab.org")
+    }
+
+    #[test]
+    fn shared_storage_round_trips() {
+        let name = long_name();
+        assert!(name.wire_len() > INLINE_NAME_CAP + 1);
+        assert_eq!(Name::parse(&name.to_ascii()).unwrap(), name);
+        assert_eq!(name.label_count(), 7);
+        assert_eq!(name.first_label(), Some("some-quite-long-label"));
+    }
+
+    #[test]
+    fn shared_parent_shares_the_buffer() {
+        let name = long_name();
+        let mut walk = name.clone();
+        let mut expected: Vec<String> = name.labels().map(str::to_string).collect();
+        while !expected.is_empty() {
+            assert_eq!(
+                walk.labels().collect::<Vec<_>>(),
+                expected.iter().map(String::as_str).collect::<Vec<_>>()
+            );
+            walk = walk.parent();
+            expected.remove(0);
+        }
+        assert!(walk.is_root());
+    }
+
+    #[test]
+    fn clone_is_allocation_free_in_shape() {
+        // Not an allocator assertion (that lives in crates/bench), but the
+        // structural guarantee it relies on: clones of shared names point
+        // at the same buffer.
+        let name = long_name();
+        let clone = name.clone();
+        assert_eq!(name, clone);
+        match (&name.repr, &clone.repr) {
+            (Repr::Shared { buf: a, .. }, Repr::Shared { buf: b, .. }) => {
+                assert!(Arc::ptr_eq(a, b));
+            }
+            _ => panic!("long names must use shared storage"),
+        }
+    }
+
+    #[test]
+    fn canonical_form_only_allocated_for_uppercase() {
+        assert!(n("mail.example.com").canon.is_none());
+        assert!(n("MAIL.example.com").canon.is_some());
+        // Case-folded spelling keeps original for display, canonical for
+        // comparisons.
+        let mixed = n("MAIL.Example.COM");
+        assert_eq!(mixed.to_ascii(), "MAIL.Example.COM");
+        assert_eq!(mixed.to_lowercase().to_ascii(), "mail.example.com");
+        assert_eq!(mixed, n("mail.example.com"));
+    }
+
+    #[test]
+    fn mixed_case_ordering_matches_lowercase_ordering() {
+        let mut upper = [n("B.COM"), n("A.ORG"), n("A.COM"), n("COM")];
+        let mut lower = [n("b.com"), n("a.org"), n("a.com"), n("com")];
+        upper.sort();
+        lower.sort();
+        for (u, l) in upper.iter().zip(lower.iter()) {
+            assert_eq!(u, l);
+        }
+    }
+
+    #[test]
+    fn strip_suffix_is_case_insensitive_and_preserves_spelling() {
+        assert_eq!(
+            n("A.B.Example.COM").strip_suffix(&n("example.com")),
+            Some(vec!["A".to_string(), "B".to_string()])
+        );
     }
 }

@@ -68,12 +68,7 @@ impl QueryLog {
         self.entries
             .lock()
             .iter()
-            .filter(|e| {
-                e.qname
-                    .labels()
-                    .iter()
-                    .any(|l| l.eq_ignore_ascii_case(label))
-            })
+            .filter(|e| e.qname.labels().any(|l| l.eq_ignore_ascii_case(label)))
             .cloned()
             .collect()
     }

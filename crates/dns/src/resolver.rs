@@ -79,10 +79,13 @@ impl fmt::Debug for Directory {
 }
 
 /// Outcome of a successful resolution exchange.
+///
+/// Records are shared (`Arc<[Record]>`) so a cached outcome is returned
+/// by reference-count bump — a cache hit never copies record data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LookupOutcome {
     /// Records of the requested type (CNAME chains already followed).
-    Records(Vec<Record>),
+    Records(Arc<[Record]>),
     /// The name does not exist.
     NxDomain,
     /// The name exists but has no data of the requested type.
@@ -98,7 +101,7 @@ impl LookupOutcome {
     /// The records, if any.
     pub fn records(&self) -> &[Record] {
         match self {
-            LookupOutcome::Records(r) => r,
+            LookupOutcome::Records(r) => r.as_ref(),
             _ => &[],
         }
     }
@@ -248,15 +251,18 @@ impl Resolver {
                             }
                             return Ok(outcome);
                         }
+                        // No chain followed: hand the (possibly cached)
+                        // outcome through without copying any record.
+                        _ if collected.is_empty() => return Ok(outcome),
                         _ => {
                             collected.extend(records.iter().cloned());
-                            return Ok(LookupOutcome::Records(collected));
+                            return Ok(LookupOutcome::Records(collected.into()));
                         }
                     }
                 }
                 _ if collected.is_empty() => return Ok(outcome),
                 // A chain ending in NXDOMAIN/NODATA yields just the chain.
-                _ => return Ok(LookupOutcome::Records(collected)),
+                _ => return Ok(LookupOutcome::Records(collected.into())),
             }
         }
         Err(LookupError::CnameChainTooLong)
@@ -269,7 +275,10 @@ impl Resolver {
         rtype: RecordType,
     ) -> Result<LookupOutcome, LookupError> {
         let now = self.link.clock().now();
-        let key = (name.to_lowercase(), rtype);
+        // `Name` hashes and compares by its canonical form, so the name
+        // itself is the case-insensitive cache key; cloning it is a copy
+        // or refcount bump, never a heap allocation.
+        let key = (name.clone(), rtype);
         if self.config.cache_enabled {
             if let Some(entry) = self.cache.get(&key) {
                 if entry.expires > now {
@@ -291,7 +300,7 @@ impl Resolver {
 
         let mut attempts = 0;
         let mut forced_tc = false;
-        let response = loop {
+        let mut response = loop {
             attempts += 1;
             self.metrics.inc_dns_queries();
             let obs = self
@@ -338,7 +347,9 @@ impl Resolver {
                 if response.answers.is_empty() {
                     LookupOutcome::NoRecords
                 } else {
-                    LookupOutcome::Records(response.answers.clone())
+                    // The response is ours; move its answers into the
+                    // shared slice instead of cloning record data.
+                    LookupOutcome::Records(std::mem::take(&mut response.answers).into())
                 }
             }
             Rcode::NxDomain => LookupOutcome::NxDomain,
@@ -480,6 +491,28 @@ mod tests {
         r.resolve(&mut rng, &n("example.com"), RecordType::A).unwrap();
         assert_eq!(metrics.dns_queries(), 1);
         assert_eq!(metrics.dns_cache_hits(), 1);
+    }
+
+    #[test]
+    fn cache_is_case_insensitive() {
+        // RFC 1035 §2.3.3 / RFC 4343: MAIL.Example.COM and
+        // mail.example.com are the same name, so the second spelling must
+        // be served from cache, not re-queried.
+        let (dir, clock) = setup();
+        let metrics = Metrics::new();
+        let link = Link::new(
+            LatencyModel::ZERO,
+            FaultPlan::NONE,
+            clock.clone(),
+            metrics.clone(),
+        );
+        let mut r = Resolver::new(dir, link, "198.51.100.1".parse().unwrap());
+        let mut rng = SimRng::new(11);
+        let first = r.resolve(&mut rng, &n("MX.Example.COM"), RecordType::A).unwrap();
+        let second = r.resolve(&mut rng, &n("mx.example.com"), RecordType::A).unwrap();
+        assert_eq!(metrics.dns_queries(), 1, "one authoritative query");
+        assert_eq!(metrics.dns_cache_hits(), 1, "case variant must hit");
+        assert_eq!(first, second);
     }
 
     #[test]

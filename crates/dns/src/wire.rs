@@ -7,18 +7,21 @@
 //! codec in tests and charged by its encoded size, keeping the substrate
 //! honest about what would actually fit on the wire.
 
-use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
 use bytes::{Buf, BufMut, BytesMut};
 
 use crate::message::{Header, Message, Opcode, Question, Rcode};
-use crate::name::{Name, NameError};
+use crate::name::{Name, NameError, MAX_NAME_LEN};
 use crate::rdata::{RData, Record, RecordClass, RecordType, Soa};
 
 /// Maximum compression-pointer hops tolerated while decoding one name.
 const MAX_POINTER_HOPS: usize = 32;
+
+/// Largest offset a 14-bit compression pointer can address (RFC 1035
+/// §4.1.4). Labels written beyond it are never remembered as targets.
+const MAX_POINTER_TARGET: usize = 0x3fff;
 
 /// Errors decoding a wire-format message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,10 +64,20 @@ impl From<NameError> for WireError {
 // ---------------------------------------------------------------------------
 
 /// Message encoder with RFC 1035 §4.1.4 name compression.
+///
+/// Compression never allocates per name: instead of keying a map with
+/// joined suffix `String`s, the encoder remembers the buffer offset of
+/// every label it writes and matches new names' canonical suffix *bytes*
+/// against the label sequences already in the buffer (chasing pointers,
+/// comparing case-insensitively). First occurrence wins, exactly like the
+/// old string-keyed scheme, and every emitted pointer target is by
+/// construction a previously written offset `<= 0x3FFF` — i.e. strictly
+/// less than the current position.
 pub struct Encoder {
     buf: BytesMut,
-    /// Lowercased suffix -> offset of its first occurrence.
-    seen: HashMap<String, u16>,
+    /// Offsets into `buf` of every label start already written, limited
+    /// to those a 14-bit pointer can address.
+    label_offsets: Vec<u16>,
     compress: bool,
 }
 
@@ -74,7 +87,7 @@ impl Encoder {
     pub fn new(compress: bool) -> Encoder {
         Encoder {
             buf: BytesMut::with_capacity(512),
-            seen: HashMap::new(),
+            label_offsets: Vec::new(),
             compress,
         }
     }
@@ -128,30 +141,84 @@ impl Encoder {
     }
 
     fn put_name(&mut self, name: &Name) {
-        let labels = name.labels();
-        for start in 0..labels.len() {
-            let suffix_key = labels[start..]
-                .iter()
-                .map(|l| l.to_ascii_lowercase())
-                .collect::<Vec<_>>()
-                .join(".");
+        let bytes = name.wire_bytes();
+        let canon = name.canonical_bytes();
+        let mut pos = 0usize;
+        while pos < bytes.len() {
             if self.compress {
-                if let Some(&offset) = self.seen.get(&suffix_key) {
+                if let Some(offset) = self.find_suffix(&canon[pos..]) {
                     self.buf.put_u16(0xc000 | offset);
                     return;
                 }
+                let here = self.buf.len();
+                // Pointers carry 14 offset bits; labels beyond 0x3FFF are
+                // written but never remembered as targets.
+                if here <= MAX_POINTER_TARGET {
+                    self.label_offsets.push(here as u16);
+                }
             }
-            let here = self.buf.len();
-            // Pointers can only address the first 16 KiB minus the two
-            // pointer flag bits; beyond that we simply stop remembering.
-            if self.compress && here < 0x3fff {
-                self.seen.insert(suffix_key, here as u16);
-            }
-            let label = &labels[start];
-            self.buf.put_u8(label.len() as u8);
-            self.buf.put_slice(label.as_bytes());
+            let len = bytes[pos] as usize;
+            self.buf.put_slice(&bytes[pos..pos + 1 + len]);
+            pos += 1 + len;
         }
         self.buf.put_u8(0);
+    }
+
+    /// Offset of an already-written label sequence equal (per canonical
+    /// bytes) to `suffix`, if any. Candidates are scanned oldest-first so
+    /// the first occurrence of a suffix stays the compression target.
+    fn find_suffix(&self, suffix: &[u8]) -> Option<u16> {
+        'candidates: for &off in &self.label_offsets {
+            let mut pos = off as usize;
+            let mut si = 0usize;
+            let mut hops = 0usize;
+            loop {
+                if si == suffix.len() {
+                    // The candidate must terminate exactly where the
+                    // suffix does: a root octet here means a whole-suffix
+                    // match, anything else a longer name.
+                    match self.buf.get(pos) {
+                        Some(0) => return Some(off),
+                        _ => continue 'candidates,
+                    }
+                }
+                let b = match self.buf.get(pos) {
+                    Some(&b) => b,
+                    None => continue 'candidates,
+                };
+                if b & 0xc0 == 0xc0 {
+                    // Previously written names may themselves end in a
+                    // pointer; follow it (targets always point backwards).
+                    let lo = self.buf[pos + 1] as usize;
+                    let target = ((b as usize & 0x3f) << 8) | lo;
+                    hops += 1;
+                    if target >= pos || hops > MAX_POINTER_HOPS {
+                        continue 'candidates;
+                    }
+                    pos = target;
+                    continue;
+                }
+                if b == 0 {
+                    // Candidate ended before the suffix was consumed.
+                    continue 'candidates;
+                }
+                let len = b as usize;
+                // `suffix` is validly framed, so its length octet sits at
+                // `si` and the content fits; length octets (<= 63) never
+                // collide with the case fold.
+                if suffix[si] != b {
+                    continue 'candidates;
+                }
+                for k in 0..len {
+                    if self.buf[pos + 1 + k].to_ascii_lowercase() != suffix[si + 1 + k] {
+                        continue 'candidates;
+                    }
+                }
+                pos += 1 + len;
+                si += 1 + len;
+            }
+        }
+        None
     }
 
     fn put_record(&mut self, r: &Record) {
@@ -261,8 +328,11 @@ impl<'a> Decoder<'a> {
     }
 
     /// Decode a possibly compressed name starting at the current position.
+    /// Labels are accumulated directly in wire form on the stack; the only
+    /// allocation is the one the resulting [`Name`] itself may need.
     fn take_name(&mut self) -> Result<Name, WireError> {
-        let mut labels: Vec<String> = Vec::new();
+        let mut wire = [0u8; MAX_NAME_LEN];
+        let mut wlen = 0usize;
         let mut pos = self.pos;
         let mut jumped = false;
         let mut hops = 0;
@@ -274,14 +344,18 @@ impl<'a> Decoder<'a> {
                         if !jumped {
                             self.pos = pos + 1;
                         }
-                        let name = Name::from_labels(labels)?;
-                        return Ok(name);
+                        return Name::from_wire(&wire[..wlen]).map_err(WireError::BadName);
                     }
                     let bytes = self
                         .data
                         .get(pos + 1..pos + 1 + len)
                         .ok_or(WireError::Truncated)?;
-                    labels.push(String::from_utf8_lossy(bytes).into_owned());
+                    if wlen + 1 + len > MAX_NAME_LEN - 1 {
+                        return Err(WireError::BadName(NameError::NameTooLong));
+                    }
+                    wire[wlen] = len as u8;
+                    wire[wlen + 1..wlen + 1 + len].copy_from_slice(bytes);
+                    wlen += 1 + len;
                     pos += 1 + len;
                 }
                 0xc0 => {
@@ -578,5 +652,126 @@ mod tests {
         m.header.rcode = Rcode::Refused;
         let decoded = decode(&encode(&m)).unwrap();
         assert_eq!(decoded.header, m.header);
+    }
+
+    #[test]
+    fn compression_matches_suffixes_case_insensitively() {
+        // RFC 1035 §4.1.4 compression compares names case-insensitively;
+        // the encoder keys on canonical bytes, so a differently-spelled
+        // repeat of the same suffix must still compress. The decoded
+        // message is equal (names compare case-insensitively); the
+        // compressed suffix inherits the spelling of its first occurrence,
+        // exactly as on the real wire.
+        let q = Message::query(9, name("MAIL.Example.COM"), RecordType::A);
+        let m = Message::respond_to(&q)
+            .with_answer(Record::new(
+                name("mail.example.com"),
+                60,
+                RData::A("192.0.2.1".parse().unwrap()),
+            ))
+            .with_answer(Record::new(
+                name("other.EXAMPLE.com"),
+                60,
+                RData::A("192.0.2.2".parse().unwrap()),
+            ));
+        let compressed = encode(&m);
+        let plain = encode_uncompressed(&m);
+        assert!(compressed.len() < plain.len());
+        let decoded = decode(&compressed).unwrap();
+        assert_eq!(decoded, m);
+        // Own label kept its spelling; the suffix took the question's.
+        assert_eq!(decoded.answers[1].name.to_ascii(), "other.Example.COM");
+    }
+
+    /// Walk an encoded message and collect (pointer position, target) for
+    /// every compression pointer inside a name field.
+    fn collect_pointers(wire: &[u8]) -> Vec<(usize, usize)> {
+        let decoded = decode(wire).expect("message must decode");
+        // Re-walk the raw bytes: skip the header, then for each question
+        // and record walk the name's labels watching for pointers.
+        let mut pointers = Vec::new();
+        let mut pos = 12;
+        let mut walk_name = |pos: &mut usize| {
+            loop {
+                let b = wire[*pos];
+                if b & 0xc0 == 0xc0 {
+                    let target = ((b as usize & 0x3f) << 8) | wire[*pos + 1] as usize;
+                    pointers.push((*pos, target));
+                    *pos += 2;
+                    return;
+                }
+                *pos += 1 + b as usize;
+                if b == 0 {
+                    return;
+                }
+            }
+        };
+        for _ in &decoded.questions {
+            walk_name(&mut pos);
+            pos += 4;
+        }
+        for section in [&decoded.answers, &decoded.authorities, &decoded.additionals] {
+            for _ in section {
+                walk_name(&mut pos);
+                pos += 8; // type, class, ttl
+                let rdlen = u16::from_be_bytes([wire[pos], wire[pos + 1]]) as usize;
+                pos += 2 + rdlen; // rdata may hold names; outer walk suffices
+            }
+        }
+        pointers
+    }
+
+    #[test]
+    fn pointer_targets_always_precede_their_position() {
+        let wire = encode(&sample_response());
+        let pointers = collect_pointers(&wire);
+        assert!(!pointers.is_empty(), "sample must actually compress");
+        for (pos, target) in pointers {
+            assert!(
+                target < pos,
+                "pointer at {pos} must point strictly backwards, got {target}"
+            );
+            assert!(target >= 12, "pointer into the header is nonsense");
+        }
+    }
+
+    #[test]
+    fn pointer_offset_limit_is_enforced_for_large_messages() {
+        // Enough fat TXT records to push the buffer far past 0x3FFF, with
+        // compressible owner names sprinkled throughout. Labels written
+        // beyond the limit must never become pointer targets.
+        let q = Message::query(3, name("big.test"), RecordType::TXT);
+        let mut m = Message::respond_to(&q);
+        let filler = "f".repeat(250);
+        for i in 0..120 {
+            m = m
+                .with_answer(Record::new(
+                    name(&format!("r{i}.pad.big.test")),
+                    60,
+                    RData::txt(&filler),
+                ))
+                .with_answer(Record::new(
+                    name(&format!("r{i}.pad.big.test")),
+                    60,
+                    RData::A("192.0.2.7".parse().unwrap()),
+                ));
+        }
+        let wire = encode(&m);
+        assert!(
+            wire.len() > MAX_POINTER_TARGET + 2,
+            "message must outgrow the pointer window: {} bytes",
+            wire.len()
+        );
+        let pointers = collect_pointers(&wire);
+        assert!(!pointers.is_empty());
+        for (pos, target) in &pointers {
+            assert!(target < pos, "forward pointer at {pos} -> {target}");
+            assert!(
+                *target <= MAX_POINTER_TARGET,
+                "pointer target {target} beyond the 14-bit window"
+            );
+        }
+        // And the whole thing still round-trips.
+        assert_eq!(decode(&wire).unwrap(), m);
     }
 }

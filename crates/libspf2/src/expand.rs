@@ -249,6 +249,11 @@ impl MacroExpander for LibSpf2Expander {
         in_exp: bool,
     ) -> Result<String, ExpandError> {
         let mut out = String::new();
+        // One scratch buffer for the raw letter values, reused across
+        // tokens. Only the *input* path is tightened here: the buffer
+        // traffic inside `expand_macro` deliberately mirrors the C
+        // code's allocation pattern, bugs and all.
+        let mut raw = String::new();
         for token in ms.tokens() {
             match token {
                 MacroToken::Literal(text) => out.push_str(text),
@@ -263,7 +268,8 @@ impl MacroExpander for LibSpf2Expander {
                     if letter.exp_only() && !in_exp {
                         return Err(ExpandError::ExpOnlyLetter(letter.as_char()));
                     }
-                    let raw = ctx.raw_value(*letter);
+                    raw.clear();
+                    ctx.write_raw_value(*letter, &mut raw);
                     out.push_str(&self.expand_macro(&raw, transform, *url_escape)?);
                 }
             }

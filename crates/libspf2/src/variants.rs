@@ -160,6 +160,9 @@ impl MacroExpander for QuirkExpander {
             return Ok(ms.source().to_string());
         }
         let mut out = String::new();
+        // Reusable scratch for raw letter values, as in the other
+        // expanders' hot paths.
+        let mut raw = String::new();
         for token in ms.tokens() {
             match token {
                 MacroToken::Literal(text) => out.push_str(text),
@@ -171,7 +174,8 @@ impl MacroExpander for QuirkExpander {
                     url_escape: escape,
                     transform,
                 } => {
-                    let raw = ctx.raw_value(*letter);
+                    raw.clear();
+                    ctx.write_raw_value(*letter, &mut raw);
                     out.push_str(&self.expand_macro(&raw, transform, *escape)?);
                 }
             }

@@ -302,10 +302,8 @@ pub struct CampaignRun {
 
 /// The one way to configure and run a measurement campaign.
 ///
-/// Replaces the positional `Campaign::run` / `run_sharded` /
-/// `run_timed` / `run_sharded_timed` matrix: every axis is a named
-/// builder method and the defaults reproduce the reference sequential
-/// engine exactly.
+/// Every axis is a named builder method and the defaults reproduce the
+/// reference sequential engine exactly.
 ///
 /// ```
 /// use spfail_netsim::FaultProfile;
@@ -379,29 +377,16 @@ impl CampaignBuilder {
     }
 }
 
-/// The campaign driver.
-pub struct Campaign;
+/// The campaign engines behind [`CampaignBuilder::run`].
+struct Campaign;
 
 impl Campaign {
-    /// Run the complete measurement programme against `world`, probing
-    /// every host sequentially through the world's shared surfaces.
+    /// The sequential reference engine, probing every host through the
+    /// world's shared surfaces on the one clock.
     ///
-    /// This is the reference engine: the sharded engine must produce
-    /// identical [`CampaignData`] for every shard count, which
-    /// `tests/parallel.rs` asserts field by field.
-    #[deprecated(note = "use CampaignBuilder::new().run(world).data")]
-    pub fn run(world: &World) -> CampaignData {
-        Self::sequential_engine(world, &ProbeOptions::default()).0
-    }
-
-    /// Sequential run that also reports each phase's simulated busy
-    /// time (the serialised cost of every probe on the one clock).
-    #[deprecated(note = "use CampaignBuilder::new().timed().run(world)")]
-    pub fn run_timed(world: &World) -> (CampaignData, CampaignTiming) {
-        Self::sequential_engine(world, &ProbeOptions::default())
-    }
-
-    /// The sequential reference engine.
+    /// The sharded engine must produce identical [`CampaignData`] for
+    /// every shard count, which `tests/parallel.rs` asserts field by
+    /// field.
     fn sequential_engine(
         world: &World,
         opts: &ProbeOptions,
@@ -474,8 +459,8 @@ impl Campaign {
         (data, timing)
     }
 
-    /// Run the complete measurement programme split across `shards`
-    /// parallel workers.
+    /// The sharded engine: one worker per shard, merged in canonical
+    /// shard order.
     ///
     /// Hosts are partitioned by [`shard_of`]; each worker probes its
     /// partition through an isolated [`ProbeContext`] (own DNS
@@ -486,23 +471,11 @@ impl Campaign {
     /// host, each worker measures exactly what the sequential engine
     /// would have measured for the same hosts. Shard results are merged
     /// in canonical shard order, so the output is identical for every
-    /// shard count — including `run_sharded(world, 1)` vs `run(world)`.
-    #[deprecated(note = "use CampaignBuilder::new().shards(n).run(world).data")]
-    pub fn run_sharded(world: &World, shards: usize) -> CampaignData {
-        Self::sharded_engine(world, shards, &ProbeOptions::default()).0
-    }
-
-    /// Sharded run that also reports each phase's simulated busy time.
-    /// Shards probe concurrently against independent clocks, so a phase
-    /// costs its *slowest* shard, not the sum — the makespan a real
-    /// parallel campaign would observe.
-    #[deprecated(note = "use CampaignBuilder::new().shards(n).timed().run(world)")]
-    pub fn run_sharded_timed(world: &World, shards: usize) -> (CampaignData, CampaignTiming) {
-        Self::sharded_engine(world, shards, &ProbeOptions::default())
-    }
-
-    /// The sharded engine: one worker per shard, merged in canonical
-    /// shard order.
+    /// shard count — `CampaignBuilder::new().shards(n)` matches the
+    /// default builder for every `n`. Shards probe concurrently against
+    /// independent clocks, so a timed phase costs its *slowest* shard,
+    /// not the sum — the makespan a real parallel campaign would
+    /// observe.
     fn sharded_engine(
         world: &World,
         shards: usize,

@@ -31,7 +31,7 @@ pub mod ethics;
 pub mod probe;
 
 pub use campaign::{
-    partition_hosts, shard_of, Campaign, CampaignBuilder, CampaignData, CampaignRun,
+    partition_hosts, shard_of, CampaignBuilder, CampaignData, CampaignRun,
     CampaignTiming, HostClass, HostInitialResult, InitialMeasurement, RoundStatus,
     SnapshotStatus,
 };

@@ -469,23 +469,25 @@ fn v6_in_network(ip: std::net::Ipv6Addr, network: std::net::Ipv6Addr, cidr: u8) 
     (ip & mask) == (network & mask)
 }
 
-/// The reverse-DNS name of an address (`in-addr.arpa` / `ip6.arpa`).
+/// The reverse-DNS name of an address (`in-addr.arpa` / `ip6.arpa`),
+/// rendered into one pre-sized buffer (72 bytes covers the longest
+/// `ip6.arpa` form) instead of a nibble list plus joins.
 fn reverse_name(ip: IpAddr) -> Name {
+    use std::fmt::Write as _;
+    let mut s = String::with_capacity(72);
     match ip {
         IpAddr::V4(v4) => {
             let o = v4.octets();
-            Name::parse(&format!("{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0]))
-                .expect("static shape")
+            let _ = write!(s, "{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0]);
         }
         IpAddr::V6(v6) => {
-            let mut nibbles = Vec::with_capacity(32);
             for byte in v6.octets().iter().rev() {
-                nibbles.push(format!("{:x}", byte & 0x0f));
-                nibbles.push(format!("{:x}", byte >> 4));
+                let _ = write!(s, "{:x}.{:x}.", byte & 0x0f, byte >> 4);
             }
-            Name::parse(&format!("{}.ip6.arpa", nibbles.join("."))).expect("static shape")
+            s.push_str("ip6.arpa");
         }
     }
+    Name::parse(&s).expect("static shape")
 }
 
 #[cfg(test)]
@@ -548,7 +550,7 @@ mod tests {
             }
             self.queries.push((name.clone(), rtype));
             match self.records.get(&(name.to_lowercase(), rtype)) {
-                Some(records) => Ok(LookupOutcome::Records(records.clone())),
+                Some(records) => Ok(LookupOutcome::Records(records.clone().into())),
                 None => Ok(LookupOutcome::NxDomain),
             }
         }

@@ -8,6 +8,7 @@
 //! authoritative DNS server, is the paper's detection fingerprint.
 
 use std::fmt;
+use std::fmt::Write as _;
 use std::net::IpAddr;
 
 use crate::macrostring::{MacroLetter, MacroString, MacroToken, MacroTransform};
@@ -52,33 +53,53 @@ impl MacroContext {
 
     /// The raw (pre-transform) value of a macro letter.
     pub fn raw_value(&self, letter: MacroLetter) -> String {
+        let mut out = String::new();
+        self.write_raw_value(letter, &mut out);
+        out
+    }
+
+    /// Append the raw (pre-transform) value of a macro letter to `out`
+    /// — the allocation-free core of [`MacroContext::raw_value`], used
+    /// by expanders that reuse one scratch buffer across tokens.
+    pub fn write_raw_value(&self, letter: MacroLetter, out: &mut String) {
         match letter {
-            MacroLetter::Sender => self.sender(),
-            MacroLetter::Local => self.sender_local.clone(),
-            MacroLetter::SenderDomain => self.sender_domain.clone(),
-            MacroLetter::Domain => self.domain.clone(),
+            MacroLetter::Sender => {
+                out.push_str(&self.sender_local);
+                out.push('@');
+                out.push_str(&self.sender_domain);
+            }
+            MacroLetter::Local => out.push_str(&self.sender_local),
+            MacroLetter::SenderDomain => out.push_str(&self.sender_domain),
+            MacroLetter::Domain => out.push_str(&self.domain),
             MacroLetter::Ip => match self.client_ip {
-                IpAddr::V4(v4) => v4.to_string(),
+                IpAddr::V4(v4) => {
+                    let _ = write!(out, "{v4}");
+                }
                 IpAddr::V6(v6) => {
                     // Dotted nibble form, as used under ip6.arpa.
-                    let octets = v6.octets();
-                    let mut nibbles = Vec::with_capacity(32);
-                    for byte in octets {
-                        nibbles.push(format!("{:x}", byte >> 4));
-                        nibbles.push(format!("{:x}", byte & 0x0f));
+                    for (i, byte) in v6.octets().iter().enumerate() {
+                        if i > 0 {
+                            out.push('.');
+                        }
+                        out.push(char::from_digit(u32::from(byte >> 4), 16).unwrap());
+                        out.push('.');
+                        out.push(char::from_digit(u32::from(byte & 0x0f), 16).unwrap());
                     }
-                    nibbles.join(".")
                 }
             },
-            MacroLetter::Validated => "unknown".to_string(),
-            MacroLetter::IpVersion => match self.client_ip {
-                IpAddr::V4(_) => "in-addr".to_string(),
-                IpAddr::V6(_) => "ip6".to_string(),
-            },
-            MacroLetter::Helo => self.helo.clone(),
-            MacroLetter::ClientIp => self.client_ip.to_string(),
-            MacroLetter::Receiver => self.receiver.clone(),
-            MacroLetter::Timestamp => self.timestamp.to_string(),
+            MacroLetter::Validated => out.push_str("unknown"),
+            MacroLetter::IpVersion => out.push_str(match self.client_ip {
+                IpAddr::V4(_) => "in-addr",
+                IpAddr::V6(_) => "ip6",
+            }),
+            MacroLetter::Helo => out.push_str(&self.helo),
+            MacroLetter::ClientIp => {
+                let _ = write!(out, "{}", self.client_ip);
+            }
+            MacroLetter::Receiver => out.push_str(&self.receiver),
+            MacroLetter::Timestamp => {
+                let _ = write!(out, "{}", self.timestamp);
+            }
         }
     }
 }
@@ -138,31 +159,62 @@ impl<T: MacroExpander + ?Sized> MacroExpander for Box<T> {
 
 /// Apply split / reverse / truncate / re-join (RFC 7208 §7.3).
 pub fn apply_transform(value: &str, transform: &MacroTransform) -> String {
+    let mut out = String::with_capacity(value.len());
+    apply_transform_into(value, transform, &mut out);
+    out
+}
+
+/// Append the transformed `value` to `out` without building a part
+/// list: `rsplit` walks the parts in reverse order directly, and the
+/// RFC's "keep the right-most n" truncation becomes a `take`/`skip`
+/// over the split iterator.
+pub fn apply_transform_into(value: &str, transform: &MacroTransform, out: &mut String) {
     let delims = transform.delimiters_or_default();
-    let mut parts: Vec<&str> = value.split(|c| delims.contains(&c)).collect();
+    let is_delim = |c: char| delims.contains(&c);
+    let total = value.split(is_delim).count();
+    // digits=0 is nonsense; treat as 1 (defensive).
+    let keep = transform
+        .digits
+        .map_or(total, |n| total.min(n.max(1) as usize));
+    // Truncation keeps the right-most `keep` parts of the (possibly
+    // reversed) sequence, so both arms skip the same count up front.
     if transform.reverse {
-        parts.reverse();
-    }
-    if let Some(n) = transform.digits {
-        let n = n.max(1) as usize;
-        if parts.len() > n {
-            parts = parts.split_off(parts.len() - n);
+        for (i, part) in value.rsplit(is_delim).skip(total - keep).enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            out.push_str(part);
+        }
+    } else {
+        for (i, part) in value.split(is_delim).skip(total - keep).enumerate() {
+            if i > 0 {
+                out.push('.');
+            }
+            out.push_str(part);
         }
     }
-    parts.join(".")
 }
 
 /// Percent-encode everything outside RFC 3986 unreserved characters.
 pub fn url_escape(value: &str) -> String {
     let mut out = String::with_capacity(value.len());
+    url_escape_into(value, &mut out);
+    out
+}
+
+/// Append the percent-encoded `value` to `out`, one hex digit pair per
+/// escaped byte — no per-byte `format!` temporaries.
+pub fn url_escape_into(value: &str, out: &mut String) {
+    const HEX: &[u8; 16] = b"0123456789ABCDEF";
     for &b in value.as_bytes() {
         if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'.' | b'_' | b'~') {
             out.push(b as char);
         } else {
-            out.push_str(&format!("%{b:02X}"));
+            out.push('%');
+            out.push(HEX[usize::from(b >> 4)] as char);
+            out.push(HEX[usize::from(b & 0x0f)] as char);
         }
     }
-    out
 }
 
 /// The RFC 7208-compliant expander.
@@ -177,6 +229,11 @@ impl MacroExpander for CompliantExpander {
         in_exp: bool,
     ) -> Result<String, ExpandError> {
         let mut out = String::new();
+        // Two scratch buffers reused across every macro token: one for
+        // the raw letter value, one for its transformed form when the
+        // token also asks for URL escaping.
+        let mut raw = String::new();
+        let mut transformed = String::new();
         for token in ms.tokens() {
             match token {
                 MacroToken::Literal(text) => out.push_str(text),
@@ -191,12 +248,14 @@ impl MacroExpander for CompliantExpander {
                     if letter.exp_only() && !in_exp {
                         return Err(ExpandError::ExpOnlyLetter(letter.as_char()));
                     }
-                    let raw = ctx.raw_value(*letter);
-                    let transformed = apply_transform(&raw, transform);
+                    raw.clear();
+                    ctx.write_raw_value(*letter, &mut raw);
                     if *escape {
-                        out.push_str(&url_escape(&transformed));
+                        transformed.clear();
+                        apply_transform_into(&raw, transform, &mut transformed);
+                        url_escape_into(&transformed, &mut out);
                     } else {
-                        out.push_str(&transformed);
+                        apply_transform_into(&raw, transform, &mut out);
                     }
                 }
             }

@@ -34,7 +34,7 @@ impl FixtureDns {
 impl SpfDns for FixtureDns {
     fn lookup(&mut self, name: &Name, rtype: RecordType) -> Result<LookupOutcome, LookupError> {
         match self.records.get(&(name.to_lowercase(), rtype)) {
-            Some(records) => Ok(LookupOutcome::Records(records.clone())),
+            Some(records) => Ok(LookupOutcome::Records(records.clone().into())),
             None => Ok(LookupOutcome::NxDomain),
         }
     }

@@ -34,13 +34,13 @@ impl SpfDns for EchoDns {
                     name.clone(),
                     300,
                     RData::txt(&self.record),
-                )]))
+                )].into()))
             }
             RecordType::A => Ok(LookupOutcome::Records(vec![Record::new(
                 name.clone(),
                 300,
                 RData::A("192.0.2.55".parse().expect("ip")),
-            )])),
+            )].into())),
             RecordType::MX => Ok(LookupOutcome::Records(vec![Record::new(
                 name.clone(),
                 300,
@@ -48,7 +48,7 @@ impl SpfDns for EchoDns {
                     preference: 10,
                     exchange: name.child("mx").unwrap_or_else(|_| name.clone()),
                 },
-            )])),
+            )].into())),
             _ => Ok(LookupOutcome::NoRecords),
         }
     }

@@ -29,7 +29,7 @@ impl V6Zone {
 impl SpfDns for V6Zone {
     fn lookup(&mut self, name: &Name, rtype: RecordType) -> Result<LookupOutcome, LookupError> {
         match self.records.get(&(name.to_lowercase(), rtype)) {
-            Some(records) => Ok(LookupOutcome::Records(records.clone())),
+            Some(records) => Ok(LookupOutcome::Records(records.clone().into())),
             None => Ok(LookupOutcome::NxDomain),
         }
     }

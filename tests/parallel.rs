@@ -130,27 +130,6 @@ fn shard_count_beyond_host_count_still_matches() {
     assert_eq!(reference, sharded);
 }
 
-/// The deprecated `Campaign::run*` wrappers stay exact aliases of the
-/// builder's default configuration for their one grace release.
-#[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_match_the_builder() {
-    use spfail_prober::Campaign;
-    let reference = CampaignBuilder::new().run(&build_world(3, 0.002)).data;
-    assert_eq!(reference, Campaign::run(&build_world(3, 0.002)));
-    assert_eq!(reference, Campaign::run_sharded(&build_world(3, 0.002), 2));
-    let (data, timing) = Campaign::run_timed(&build_world(3, 0.002));
-    assert_eq!(reference, data);
-    let timed = CampaignBuilder::new()
-        .timed()
-        .run(&build_world(3, 0.002))
-        .timing
-        .expect("timed run");
-    assert_eq!(timing, timed);
-    let (data, _) = Campaign::run_sharded_timed(&build_world(3, 0.002), 2);
-    assert_eq!(reference, data);
-}
-
 #[test]
 fn sharded_engine_leaves_world_clock_at_snapshot_day() {
     let world = build_world(11, 0.002);

@@ -58,6 +58,31 @@ fn gen_name(rng: &mut SimRng) -> Name {
     }
 }
 
+/// A label with each letter independently upper- or lowercased.
+fn gen_mixed_label(rng: &mut SimRng) -> String {
+    gen_label(rng)
+        .chars()
+        .map(|c| {
+            if rng.chance(0.5) {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+/// The reference model for a name is just its label list; a mixed-case
+/// one exercises the canonical-form machinery in the compact [`Name`].
+fn gen_mixed_labels(rng: &mut SimRng, max: u64) -> Vec<String> {
+    loop {
+        let labels: Vec<String> = (0..rng.below(max)).map(|_| gen_mixed_label(rng)).collect();
+        if Name::from_labels(&labels).is_ok() {
+            return labels;
+        }
+    }
+}
+
 /// A printable-ASCII string of up to `max` characters.
 fn gen_printable(rng: &mut SimRng, max: u64) -> String {
     (0..rng.below(max + 1))
@@ -159,6 +184,109 @@ fn concat_makes_subdomains() {
             assert_eq!(
                 child.strip_suffix(&base).expect("is a subdomain"),
                 vec![prefix]
+            );
+        }
+    }
+}
+
+/// parse → wire → decode → to_ascii is the identity on the original
+/// spelling, even for mixed-case names (the canonical form is for
+/// comparisons only — the wire always carries the spelling as typed).
+#[test]
+fn name_wire_round_trip_preserves_spelling() {
+    for mut rng in cases("name_wire_round_trip_preserves_spelling") {
+        let labels = gen_mixed_labels(&mut rng, 6);
+        let name = Name::from_labels(&labels).expect("generator keeps names legal");
+        let text = name.to_ascii();
+        let reparsed = Name::parse(&text).expect("display form parses");
+        assert_eq!(reparsed.to_ascii(), text, "parse must keep the spelling");
+        let mut message = Message::query(7, name.clone(), RecordType::A);
+        message.answers = vec![Record::new(name.clone(), 60, RData::txt("x"))];
+        for encoded in [wire::encode(&message), wire::encode_uncompressed(&message)] {
+            let decoded = wire::decode(&encoded).expect("well-formed messages decode");
+            assert_eq!(decoded.question().expect("question").name.to_ascii(), text);
+            assert_eq!(decoded.answers[0].name.to_ascii(), text);
+        }
+    }
+}
+
+/// The compact name agrees with a plain `Vec<String>` label model on
+/// every structural operation, and its comparisons are case-insensitive
+/// where the model's are not.
+#[test]
+fn name_ops_match_label_list_model() {
+    for mut rng in cases("name_ops_match_label_list_model") {
+        let model = gen_mixed_labels(&mut rng, 5);
+        let name = Name::from_labels(&model).expect("legal");
+
+        // Label iteration reproduces the model exactly.
+        let seen: Vec<&str> = name.labels().collect();
+        assert_eq!(seen, model.iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(name.label_count(), model.len());
+
+        // parent() drops the leftmost label, like the model's tail.
+        assert_eq!(
+            name.parent().labels().collect::<Vec<_>>(),
+            model.iter().skip(1).map(String::as_str).collect::<Vec<_>>()
+        );
+
+        // concat() at every split point rebuilds the same name, and
+        // strip_suffix() inverts it with the original spelling.
+        for split in 0..=model.len() {
+            let prefix = Name::from_labels(&model[..split]).expect("legal");
+            let suffix = Name::from_labels(&model[split..]).expect("legal");
+            let rebuilt = prefix.concat(&suffix).expect("fits");
+            assert_eq!(rebuilt, name);
+            assert_eq!(rebuilt.to_ascii(), name.to_ascii());
+            assert_eq!(name.strip_suffix(&suffix), Some(model[..split].to_vec()));
+        }
+
+        // Comparisons fold case; the model's Vec equality does not.
+        let folded: Vec<String> = model.iter().map(|l| l.to_ascii_lowercase()).collect();
+        let lower = Name::from_labels(&folded).expect("legal");
+        assert_eq!(lower, name, "names compare case-insensitively");
+        if folded != model {
+            assert_ne!(lower.to_ascii(), name.to_ascii(), "spelling is preserved");
+        }
+    }
+}
+
+/// Compression round-trips on pathological messages where many owners
+/// share deep suffixes under different spellings.
+#[test]
+fn compression_round_trips_on_shared_suffixes() {
+    for mut rng in cases("compression_round_trips_on_shared_suffixes") {
+        // A deep base name every record hangs off.
+        let base = Name::from_labels(gen_mixed_labels(&mut rng, 4)).expect("legal");
+        let mut message = Message::query(9, base.clone(), RecordType::TXT);
+        let mut expected_spellings = vec![base.to_ascii()];
+        for _ in 0..rng.range(2, 10) {
+            // Walk down a random number of levels from a random ancestor
+            // so suffixes repeat at every depth, some respelled.
+            let mut owner = base.clone();
+            for _ in 0..rng.below(3) {
+                owner = owner.parent();
+            }
+            for _ in 0..rng.below(3) {
+                let Ok(child) = owner.child(&gen_mixed_label(&mut rng)) else {
+                    break;
+                };
+                owner = child;
+            }
+            expected_spellings.push(owner.to_ascii());
+            message.answers.push(Record::new(owner, 60, RData::txt("t")));
+        }
+        let compressed = wire::encode(&message);
+        let plain = wire::encode_uncompressed(&message);
+        assert!(compressed.len() <= plain.len());
+        let decoded = wire::decode(&compressed).expect("decodes");
+        assert_eq!(decoded, message, "equality is case-insensitive");
+        // Spelling survives modulo compression: a shared suffix takes the
+        // spelling of its first occurrence, so compare case-folded.
+        for (record, spelling) in decoded.answers.iter().zip(&expected_spellings[1..]) {
+            assert_eq!(
+                record.name.to_ascii().to_ascii_lowercase(),
+                spelling.to_ascii_lowercase()
             );
         }
     }

@@ -57,7 +57,7 @@ impl Zone {
 impl SpfDns for Zone {
     fn lookup(&mut self, name: &Name, rtype: RecordType) -> Result<LookupOutcome, LookupError> {
         match self.records.get(&(name.to_lowercase(), rtype)) {
-            Some(records) => Ok(LookupOutcome::Records(records.clone())),
+            Some(records) => Ok(LookupOutcome::Records(records.clone().into())),
             None => {
                 // NODATA when the name exists with other types.
                 let exists = self
