@@ -160,3 +160,41 @@ fn txt_resolve_allocation_budget() {
     assert!(cold <= 11, "cold TXT resolve allocated {cold} times");
     assert!(hit <= CACHED_HIT_BUDGET, "cached TXT hit allocated {hit} times");
 }
+
+/// The differential conformance oracle runs `run_case` thousands of
+/// times per tier-1 run (and 5000 times in the CI smoke), so its
+/// per-case allocation count is a budgeted quantity like the resolve hot
+/// path: a regression here multiplies straight into fuzz wall-clock.
+/// The budget is an average over a fixed slice of generated cases —
+/// individual cases vary widely (include chains, void pileups).
+#[test]
+fn conformance_oracle_per_case_allocation_budget() {
+    use spfail_conformance::{generate_case, run_case};
+
+    const SEED: u64 = 0x5bf5_fa11;
+    const SAMPLE: u64 = 16;
+
+    // Warm-up: fault any lazy one-time structures.
+    let _ = run_case(&generate_case(SEED, 0));
+
+    let cases: Vec<_> = (0..SAMPLE).map(|i| generate_case(SEED, i)).collect();
+    let (allocs, reports) = count_allocs(|| {
+        cases.iter().map(run_case).collect::<Vec<_>>()
+    });
+    assert_eq!(reports.len(), SAMPLE as usize);
+    let per_case = allocs / SAMPLE;
+    eprintln!("alloc_count: conformance oracle = {per_case} allocs/case ({allocs} over {SAMPLE})");
+    assert!(
+        per_case <= PER_CASE_ORACLE_BUDGET,
+        "conformance oracle averaged {per_case} allocations per case, \
+         budget {PER_CASE_ORACLE_BUDGET}"
+    );
+}
+
+/// Measured: ~900 allocations per case on the fixed slice above (9
+/// profile evaluations plus two reference expansions of every macro
+/// string in the case). The budget sits ~50% above the measured value:
+/// tight enough to catch an accidental per-byte or per-query allocation
+/// (those show up as 10x), loose enough to absorb generator drift when
+/// cases get richer.
+const PER_CASE_ORACLE_BUDGET: u64 = 1400;

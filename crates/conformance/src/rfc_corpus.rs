@@ -1,0 +1,361 @@
+//! An embedded RFC 7208–derived conformance corpus, in the style of the
+//! openspf test suite: each vector pins `check_host`'s verdict (and
+//! sometimes the `exp=` explanation text) for one small zone fixture.
+//!
+//! Every vector is run against *both* real evaluators — the compliant
+//! expander and the patched libSPF2 emulation — since RFC conformance is
+//! exactly the property the patched release claims.
+
+use spfail_libspf2::MacroBehavior;
+use spfail_spf::SpfResult;
+
+use crate::case::ConformanceCase;
+use crate::oracle::eval_profile;
+
+/// One corpus vector.
+#[derive(Debug, Clone)]
+pub struct RfcVector {
+    /// The vector's name (from the script's `name` directive).
+    pub name: String,
+    /// The parsed case, including its pinned `expect-result`.
+    pub case: ConformanceCase,
+    /// The expected result.
+    pub expect: SpfResult,
+    /// The expected explanation text, when the vector pins one.
+    pub expect_explanation: Option<&'static str>,
+}
+
+/// `(script, expected explanation)` source vectors.
+const VECTORS: &[(&str, Option<&str>)] = &[
+    (
+        "name all-pass\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 +all\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name all-fail\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 -all\nexpect-result fail\n",
+        None,
+    ),
+    (
+        "name all-softfail\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ~all\nexpect-result softfail\n",
+        None,
+    ),
+    (
+        "name all-neutral\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ?all\nexpect-result neutral\n",
+        None,
+    ),
+    (
+        "name no-match-defaults-neutral\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ip4:203.0.113.0/24\nexpect-result neutral\n",
+        None,
+    ),
+    (
+        "name no-record-none\nip 192.0.2.3\nsender user example.com\n\
+         a example.com 192.0.2.3\nexpect-result none\n",
+        None,
+    ),
+    (
+        "name non-spf-txt-ignored\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com some unrelated text\n\
+         txt example.com v=spf1 +all\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name two-spf-records-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 +all\n\
+         txt example.com v=spf1 -all\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name unknown-mechanism-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 foo:bar -all\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name unknown-modifier-ignored\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 x-future=forward +all\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name bad-macro-letter-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:%{q}.example.net -all\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name ip4-match\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ip4:192.0.2.0/24 -all\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name ip4-no-match\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ip4:198.51.100.0/24 -all\nexpect-result fail\n",
+        None,
+    ),
+    (
+        "name ip4-zero-prefix-matches-everything\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ip4:1.2.3.4/0 -all\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name ip6-match\nip 2001:db8::1\nsender user example.com\n\
+         txt example.com v=spf1 ip6:2001:db8::/32 -all\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name ip4-never-matches-v6-client\nip 2001:db8::1\nsender user example.com\n\
+         txt example.com v=spf1 ip4:192.0.2.0/24 -all\nexpect-result fail\n",
+        None,
+    ),
+    (
+        "name a-match\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 a -all\n\
+         a example.com 192.0.2.3\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name a-no-address-fails\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 a -all\nexpect-result fail\n",
+        None,
+    ),
+    (
+        "name a-target-with-prefix\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 a:other.example.com/24 -all\n\
+         a other.example.com 192.0.2.99\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name mx-match\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 mx -all\n\
+         mx example.com 10 mail.example.com\n\
+         a mail.example.com 192.0.2.3\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name exists-match\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:ok.example.net -all\n\
+         a ok.example.net 127.0.0.2\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name exists-reverse-ip-macro\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:%{ir}.%{v}.rbl.example.net -all\n\
+         a 3.2.0.192.in-addr.rbl.example.net 127.0.0.2\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name include-pass\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 include:other.test -all\n\
+         txt other.test v=spf1 +all\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name include-fail-falls-through\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 include:other.test ?all\n\
+         txt other.test v=spf1 -all\nexpect-result neutral\n",
+        None,
+    ),
+    (
+        "name include-missing-record-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 include:gone.test -all\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name redirect-followed\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 redirect=other.test\n\
+         txt other.test v=spf1 -all\nexpect-result fail\n",
+        None,
+    ),
+    (
+        "name redirect-ignored-when-all-matches\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 -all redirect=pass.test\n\
+         txt pass.test v=spf1 +all\nexpect-result fail\n",
+        None,
+    ),
+    (
+        "name redirect-after-unmatched-mechanisms\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ip4:198.51.100.0/24 redirect=other.test\n\
+         txt other.test v=spf1 +all\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name redirect-missing-target-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 redirect=gone.test\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name duplicate-redirect-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 redirect=a.test redirect=b.test\n\
+         txt a.test v=spf1 +all\n\
+         txt b.test v=spf1 -all\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name duplicate-exp-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exp=a.test exp=b.test -all\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name exp-explanation-expanded\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 -all exp=why.example.com\n\
+         txt why.example.com %{i} not allowed from %{d}\nexpect-result fail\n",
+        Some("192.0.2.3 not allowed from example.com"),
+    ),
+    (
+        "name exp-only-letters-legal-in-exp\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 -all exp=w.test\n\
+         txt w.test %{c} at %{t} via %{r}\nexpect-result fail\n",
+        Some("192.0.2.3 at 0 via receiver.invalid"),
+    ),
+    (
+        "name exp-only-letter-outside-exp-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:%{c}.example.net -all\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name macro-sender-address\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:%{s}.x.test -all\n\
+         a user@example.com.x.test 127.0.0.2\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name macro-local-and-domain\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:%{l}.%{o}.x.test -all\n\
+         a user.example.com.x.test 127.0.0.2\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name macro-domain-truncated\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:%{d1}.x.test -all\n\
+         a com.x.test 127.0.0.2\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name macro-domain-reversed\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:%{dr}.x.test -all\n\
+         a com.example.x.test 127.0.0.2\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name macro-custom-delimiter\nip 192.0.2.3\nsender a-b example.com\n\
+         txt example.com v=spf1 exists:%{l-}.x.test -all\n\
+         a a.b.x.test 127.0.0.2\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name lookup-limit-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 include:c0.test -all\n\
+         txt c0.test v=spf1 include:c1.test -all\n\
+         txt c1.test v=spf1 include:c2.test -all\n\
+         txt c2.test v=spf1 include:c3.test -all\n\
+         txt c3.test v=spf1 include:c4.test -all\n\
+         txt c4.test v=spf1 include:c5.test -all\n\
+         txt c5.test v=spf1 include:c6.test -all\n\
+         txt c6.test v=spf1 include:c7.test -all\n\
+         txt c7.test v=spf1 include:c8.test -all\n\
+         txt c8.test v=spf1 include:c9.test -all\n\
+         txt c9.test v=spf1 include:c10.test -all\n\
+         txt c10.test v=spf1 +all\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name void-lookup-limit-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 exists:v1.test exists:v2.test exists:v3.test +all\n\
+         expect-result permerror\n",
+        None,
+    ),
+    (
+        "name mx-name-limit-permerror\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 mx -all\n\
+         mx example.com 1 m1.test\nmx example.com 2 m2.test\nmx example.com 3 m3.test\n\
+         mx example.com 4 m4.test\nmx example.com 5 m5.test\nmx example.com 6 m6.test\n\
+         mx example.com 7 m7.test\nmx example.com 8 m8.test\nmx example.com 9 m9.test\n\
+         mx example.com 10 m10.test\nmx example.com 11 m11.test\nexpect-result permerror\n",
+        None,
+    ),
+    (
+        "name ptr-forward-confirmed\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ptr -all\n\
+         ptr 3.2.0.192.in-addr.arpa host.example.com\n\
+         a host.example.com 192.0.2.3\nexpect-result pass\n",
+        None,
+    ),
+    (
+        "name ptr-unconfirmed-fails\nip 192.0.2.3\nsender user example.com\n\
+         txt example.com v=spf1 ptr -all\n\
+         ptr 3.2.0.192.in-addr.arpa host.example.com\n\
+         a host.example.com 203.0.113.9\nexpect-result fail\n",
+        None,
+    ),
+];
+
+/// Parse the embedded vectors.
+pub fn rfc_vectors() -> Vec<RfcVector> {
+    VECTORS
+        .iter()
+        .map(|(script, expect_explanation)| {
+            let case = ConformanceCase::parse_script(script)
+                .unwrap_or_else(|e| panic!("embedded vector failed to parse: {e}\n{script}"));
+            let expect = case
+                .expect_result
+                .unwrap_or_else(|| panic!("vector {} pins no result", case.name));
+            RfcVector {
+                name: case.name.clone(),
+                case,
+                expect,
+                expect_explanation: *expect_explanation,
+            }
+        })
+        .collect()
+}
+
+/// Check one vector against both real evaluators; returns failure
+/// descriptions (empty means conformant).
+pub fn check_vector(vector: &RfcVector) -> Vec<String> {
+    let mut failures = Vec::new();
+    for behavior in [MacroBehavior::Compliant, MacroBehavior::PatchedLibSpf2] {
+        let outcome = eval_profile(&vector.case, behavior);
+        if outcome.result != vector.expect {
+            failures.push(format!(
+                "{} under {behavior:?}: got {:?}, expected {:?}",
+                vector.name, outcome.result, vector.expect,
+            ));
+        }
+        if behavior == MacroBehavior::Compliant {
+            if let Some(expected) = vector.expect_explanation {
+                if outcome.explanation.as_deref() != Some(expected) {
+                    failures.push(format!(
+                        "{}: explanation {:?}, expected {expected:?}",
+                        vector.name, outcome.explanation,
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_embedded_vector_passes_both_evaluators() {
+        let vectors = rfc_vectors();
+        assert!(vectors.len() >= 30, "corpus shrank to {}", vectors.len());
+        let failures: Vec<String> = vectors.iter().flat_map(check_vector).collect();
+        assert!(failures.is_empty(), "{failures:#?}");
+    }
+
+    #[test]
+    fn vector_names_are_unique() {
+        let vectors = rfc_vectors();
+        let mut names: Vec<&str> = vectors.iter().map(|v| v.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len());
+    }
+}

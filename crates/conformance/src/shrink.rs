@@ -1,0 +1,124 @@
+//! Greedy case minimization.
+//!
+//! Given a case and a predicate (normally "the oracle still reports a
+//! bug"), repeatedly apply size-reducing edits — drop whole fixture
+//! records, drop individual policy terms, simplify the sender identity —
+//! keeping each edit only if the predicate still holds, until a fixpoint.
+//! The result is what gets committed to `corpus/` as a regression case.
+
+use crate::case::{ConformanceCase, FixtureData};
+
+/// Candidate single-step reductions of `case`, roughly biggest first.
+fn reductions(case: &ConformanceCase) -> Vec<ConformanceCase> {
+    let mut out = Vec::new();
+    // Drop one fixture record.
+    for i in 0..case.records.len() {
+        let mut candidate = case.clone();
+        candidate.records.remove(i);
+        out.push(candidate);
+    }
+    // Drop one term from one SPF policy.
+    for (i, record) in case.records.iter().enumerate() {
+        let FixtureData::Txt(content) = &record.data else {
+            continue;
+        };
+        if !content.starts_with("v=spf1") {
+            continue;
+        }
+        let terms: Vec<&str> = content.split_whitespace().collect();
+        // terms[0] is the version tag; keep it.
+        for t in 1..terms.len() {
+            let mut kept: Vec<&str> = terms.clone();
+            kept.remove(t);
+            let mut candidate = case.clone();
+            candidate.records[i].data = FixtureData::Txt(kept.join(" "));
+            out.push(candidate);
+        }
+    }
+    // Simplify the sender identity.
+    if case.sender_local != "u" {
+        let mut candidate = case.clone();
+        candidate.sender_local = "u".to_string();
+        out.push(candidate);
+    }
+    if case.sender_domain != "example.com" {
+        let mut candidate = case.clone();
+        let old = case.sender_domain.clone();
+        candidate.sender_domain = "example.com".to_string();
+        // Keep fixtures reachable: rename records rooted at the old domain.
+        for record in &mut candidate.records {
+            if record.owner == old {
+                record.owner = "example.com".to_string();
+            }
+        }
+        out.push(candidate);
+    }
+    out
+}
+
+/// Shrink `case` to a locally minimal one for which `still_failing` holds.
+/// The predicate is assumed true for the input.
+pub fn shrink<F>(case: &ConformanceCase, still_failing: F) -> ConformanceCase
+where
+    F: Fn(&ConformanceCase) -> bool,
+{
+    let mut best = case.clone();
+    loop {
+        let mut progressed = false;
+        for candidate in reductions(&best) {
+            if still_failing(&candidate) {
+                best = candidate;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spfail_spf::SpfResult;
+
+    use crate::oracle::eval_profile;
+    use spfail_libspf2::MacroBehavior;
+
+    /// Shrinking a deliberately bloated permerror case strips it to the
+    /// duplicated modifiers that cause it.
+    #[test]
+    fn shrinker_reaches_a_minimal_duplicate_modifier_case() {
+        let case = ConformanceCase::new(
+            "bloated",
+            "192.0.2.9".parse().unwrap(),
+            "somebody-long",
+            "mail.sub.example.org",
+        )
+        .txt(
+            "mail.sub.example.org",
+            "v=spf1 ip4:203.0.113.0/24 exists:p.example.org redirect=a.test redirect=b.test ~all",
+        )
+        .a("p.example.org", "127.0.0.2".parse().unwrap())
+        .a("unrelated.example.org", "127.0.0.3".parse().unwrap());
+
+        let is_permerror = |c: &ConformanceCase| {
+            eval_profile(c, MacroBehavior::Compliant).result == SpfResult::PermError
+        };
+        assert!(is_permerror(&case));
+        let minimal = shrink(&case, is_permerror);
+        assert!(is_permerror(&minimal));
+        // Every fixture except the policy itself is gone, and the policy
+        // is down to a single term (a dangling redirect permerrors on its
+        // own, so the duplicate pair shrinks further to one).
+        assert_eq!(minimal.records.len(), 1);
+        assert_eq!(minimal.sender_local, "u");
+        let FixtureData::Txt(policy) = &minimal.records[0].data else {
+            panic!("policy record lost its type");
+        };
+        let terms: Vec<&str> = policy.split_whitespace().collect();
+        assert_eq!(terms.len(), 2, "{policy}");
+        assert!(terms[1].starts_with("redirect="), "{policy}");
+    }
+}

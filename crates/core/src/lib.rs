@@ -25,6 +25,7 @@
 //! | [`prober`]  | `spfail-prober`  | NoMsg/BlankMsg probes, classification, campaigns |
 //! | [`notify`]  | `spfail-notify`  | the private-notification campaign |
 //! | [`report`]  | `spfail-report`  | every table and figure of the paper |
+//! | [`conformance`] | `spfail-conformance` | differential oracle, fuzzer, regression corpus |
 //!
 //! ## Quick taste
 //!
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use spfail_conformance as conformance;
 pub use spfail_dns as dns;
 pub use spfail_libspf2 as libspf2;
 pub use spfail_mta as mta;

@@ -144,6 +144,22 @@ impl Zone {
         }
     }
 
+    /// Synthesise a root-origin zone from a flat record list.
+    ///
+    /// Conformance fixtures (generated and corpus cases) describe records
+    /// spread over arbitrary unrelated domains; a zone rooted at `.`
+    /// contains them all, and [`Zone::lookup`] then provides the
+    /// wildcard/NODATA/NXDOMAIN semantics a real authoritative stack
+    /// would — the distinction the evaluator's void-lookup accounting
+    /// depends on.
+    pub fn synthesize(records: impl IntoIterator<Item = Record>) -> Zone {
+        let mut builder = ZoneBuilder::new(Name::root());
+        for record in records {
+            builder = builder.record(record);
+        }
+        builder.build()
+    }
+
     /// Iterate over all records in the zone.
     pub fn records(&self) -> impl Iterator<Item = &Record> {
         self.records.values().flatten()
@@ -242,6 +258,33 @@ mod tests {
 
     fn n(s: &str) -> Name {
         Name::parse(s).unwrap()
+    }
+
+    #[test]
+    fn synthesized_root_zone_holds_unrelated_domains() {
+        let zone = Zone::synthesize([
+            Record::new(n("example.com"), 300, RData::txt("v=spf1 -all")),
+            Record::new(n("other.org"), 300, RData::A(Ipv4Addr::new(192, 0, 2, 1))),
+        ]);
+        assert!(zone.origin().is_root());
+        assert!(matches!(
+            zone.lookup(&n("example.com"), RecordType::TXT),
+            ZoneAnswer::Records(_)
+        ));
+        assert!(matches!(
+            zone.lookup(&n("other.org"), RecordType::A),
+            ZoneAnswer::Records(_)
+        ));
+        // NODATA vs NXDOMAIN survives synthesis — the evaluator's
+        // void-lookup accounting depends on the distinction.
+        assert_eq!(
+            zone.lookup(&n("other.org"), RecordType::TXT),
+            ZoneAnswer::NoData
+        );
+        assert_eq!(
+            zone.lookup(&n("missing.test"), RecordType::A),
+            ZoneAnswer::NxDomain
+        );
     }
 
     fn sample_zone() -> Zone {

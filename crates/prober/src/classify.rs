@@ -26,6 +26,128 @@ use std::collections::BTreeSet;
 use spfail_dns::{Name, QueryLogEntry, RecordType};
 use spfail_libspf2::MacroBehavior;
 
+/// One named, intentional divergence from RFC 7208 behaviour.
+///
+/// This table is the single source of truth shared by two consumers:
+///
+/// * the **online classifier** below, which decodes the expansion prefix
+///   a server queried into a [`MacroBehavior`] and names it via
+///   [`quirks_for_behavior`];
+/// * the **offline differential oracle** (`spfail-conformance`), which
+///   evaluates generated policies through every expander and must match
+///   each observed divergence against exactly one of these names — any
+///   divergence *not* in this list is a bug, not a quirk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KnownQuirk {
+    /// Stable identifier used in tables, corpus files and CI output.
+    pub name: &'static str,
+    /// The expansion behaviour this quirk is part of, when it maps onto
+    /// one of the measured behaviour classes.
+    pub behavior: Option<MacroBehavior>,
+    /// The CVE this quirk fingerprints, if any.
+    pub cve: Option<&'static str>,
+    /// Whether exercising the quirk can corrupt the simulated heap
+    /// (detected by `spfail_libspf2::MemSim` overflow events).
+    pub overflows_heap: bool,
+    /// One-line description of the divergence.
+    pub description: &'static str,
+}
+
+/// The explicit allowlist of every divergence the reproduction treats as
+/// intentional. Paper §4.2 (libSPF2 fingerprints) and §7.9 (the "other
+/// erroneous" behaviours).
+pub const KNOWN_QUIRKS: &[KnownQuirk] = &[
+    KnownQuirk {
+        name: "dup-first-reversed-label",
+        behavior: Some(MacroBehavior::VulnerableLibSpf2),
+        cve: Some("CVE-2021-33913"),
+        overflows_heap: false,
+        description: "reverse+truncate re-emits the first reversed label \
+                      (example.com -> com.com.example); the benign, remotely \
+                      visible fingerprint",
+    },
+    KnownQuirk {
+        name: "bogus-length-overflow",
+        behavior: Some(MacroBehavior::VulnerableLibSpf2),
+        cve: Some("CVE-2021-33913"),
+        overflows_heap: true,
+        description: "URL-escape allocation sized from the truncated length \
+                      while the full duplicated expansion is written",
+    },
+    KnownQuirk {
+        name: "sign-extended-escape",
+        behavior: Some(MacroBehavior::VulnerableLibSpf2),
+        cve: Some("CVE-2021-33912"),
+        overflows_heap: true,
+        description: "bytes >= 0x80 escape as %ffffffxx through signed-char \
+                      sign-extension, 9 bytes where 3 were budgeted",
+    },
+    KnownQuirk {
+        name: "lowercase-hex-escape",
+        behavior: None,
+        cve: None,
+        overflows_heap: false,
+        description: "sprintf(\"%%%02x\") emits lowercase hex digits where the \
+                      RFC reference escapes uppercase; both libSPF2 releases, \
+                      wire-equivalent because DNS names compare case-blind",
+    },
+    KnownQuirk {
+        name: "no-expansion",
+        behavior: Some(MacroBehavior::NoExpansion),
+        cve: None,
+        overflows_heap: false,
+        description: "macro text treated as literal data (queries %{d1r} verbatim)",
+    },
+    KnownQuirk {
+        name: "reverse-no-truncate",
+        behavior: Some(MacroBehavior::ReverseNoTruncate),
+        cve: None,
+        overflows_heap: false,
+        description: "honours reversal and delimiters but drops the digit count",
+    },
+    KnownQuirk {
+        name: "truncate-no-reverse",
+        behavior: Some(MacroBehavior::TruncateNoReverse),
+        cve: None,
+        overflows_heap: false,
+        description: "honours the digit count but never reverses",
+    },
+    KnownQuirk {
+        name: "ignore-transformers",
+        behavior: Some(MacroBehavior::IgnoreTransformers),
+        cve: None,
+        overflows_heap: false,
+        description: "substitutes the raw macro value, ignoring transformers",
+    },
+    KnownQuirk {
+        name: "empty-expansion",
+        behavior: Some(MacroBehavior::EmptyExpansion),
+        cve: None,
+        overflows_heap: false,
+        description: "macros expand to the empty string; a leading dot is trimmed",
+    },
+    KnownQuirk {
+        name: "macro-unsupported",
+        behavior: Some(MacroBehavior::MacroUnsupported),
+        cve: None,
+        overflows_heap: false,
+        description: "macro-bearing terms abort evaluation entirely",
+    },
+];
+
+/// Look a quirk up by its stable name.
+pub fn quirk_by_name(name: &str) -> Option<&'static KnownQuirk> {
+    KNOWN_QUIRKS.iter().find(|q| q.name == name)
+}
+
+/// All quirks attributed to one expansion behaviour.
+pub fn quirks_for_behavior(behavior: MacroBehavior) -> Vec<&'static KnownQuirk> {
+    KNOWN_QUIRKS
+        .iter()
+        .filter(|q| q.behavior == Some(behavior))
+        .collect()
+}
+
 /// The classification of one probe's DNS activity.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Classification {
@@ -66,6 +188,17 @@ impl Classification {
     /// Whether only RFC-compliant expansion was observed.
     pub fn compliant_only(&self) -> bool {
         self.conclusive() && !self.vulnerable() && !self.erroneous_non_vulnerable()
+    }
+
+    /// The allowlist names ([`KNOWN_QUIRKS`]) of every non-compliant
+    /// behaviour observed — the vocabulary shared with the conformance
+    /// oracle's divergence reports.
+    pub fn quirk_names(&self) -> BTreeSet<&'static str> {
+        self.behaviors
+            .iter()
+            .flat_map(|&b| quirks_for_behavior(b))
+            .map(|q| q.name)
+            .collect()
     }
 }
 
@@ -319,6 +452,59 @@ mod tests {
         // Only the baseline + TXT matched this probe: macro unsupported is
         // NOT inferred because an address query *was* seen for the domain.
         assert!(c.behaviors.is_empty() || c.behaviors.contains(&MacroBehavior::MacroUnsupported));
+    }
+
+    #[test]
+    fn quirk_allowlist_is_consistent() {
+        // Names are unique and kebab-case.
+        let mut names: Vec<&str> = KNOWN_QUIRKS.iter().map(|q| q.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate quirk names");
+        for q in KNOWN_QUIRKS {
+            assert!(
+                q.name.bytes().all(|b| b.is_ascii_lowercase() || b == b'-' || b.is_ascii_digit()),
+                "{} not kebab-case",
+                q.name
+            );
+        }
+        // Every non-compliant behaviour class has at least one named quirk,
+        // and the vulnerable class names both CVEs.
+        for b in [
+            MacroBehavior::VulnerableLibSpf2,
+            MacroBehavior::NoExpansion,
+            MacroBehavior::ReverseNoTruncate,
+            MacroBehavior::TruncateNoReverse,
+            MacroBehavior::IgnoreTransformers,
+            MacroBehavior::EmptyExpansion,
+            MacroBehavior::MacroUnsupported,
+        ] {
+            assert!(!quirks_for_behavior(b).is_empty(), "{b:?} has no quirk");
+        }
+        let cves: BTreeSet<&str> = quirks_for_behavior(MacroBehavior::VulnerableLibSpf2)
+            .iter()
+            .filter_map(|q| q.cve)
+            .collect();
+        assert!(cves.contains("CVE-2021-33912") && cves.contains("CVE-2021-33913"));
+        assert!(quirk_by_name("lowercase-hex-escape").is_some());
+        assert!(quirk_by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn classification_exposes_quirk_names() {
+        let c = classify_entries(vec![
+            txt(),
+            entry(
+                "org.org.dns-lab.spf-test.s01.k7q2.k7q2.s01.spf-test.dns-lab.org",
+                RecordType::A,
+            ),
+            baseline(),
+        ]);
+        let names = c.quirk_names();
+        assert!(names.contains("dup-first-reversed-label"));
+        assert!(names.contains("sign-extended-escape"));
+        assert!(!names.contains("no-expansion"));
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub use campaign::{
     CampaignTiming, HostClass, HostInitialResult, InitialMeasurement, RoundStatus,
     SnapshotStatus,
 };
-pub use classify::{classify, Classification};
+pub use classify::{
+    classify, quirk_by_name, quirks_for_behavior, Classification, KnownQuirk, KNOWN_QUIRKS,
+};
 pub use ethics::{EthicsAudit, EthicsGuard};
 pub use probe::{
     ProbeContext, ProbeOptions, ProbeOutcome, ProbeTest, ProbeVerdict, Prober, RetryPolicy,

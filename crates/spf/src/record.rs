@@ -23,6 +23,9 @@ pub enum RecordError {
     BadMacro(MacroError),
     /// A term that is neither mechanism nor modifier.
     BadTerm(String),
+    /// `redirect=` or `exp=` appeared more than once (RFC 7208 §6:
+    /// "MUST NOT appear in a record more than once each").
+    DuplicateModifier(&'static str),
 }
 
 impl fmt::Display for RecordError {
@@ -35,6 +38,9 @@ impl fmt::Display for RecordError {
             RecordError::BadCidr(s) => write!(f, "bad cidr {s}"),
             RecordError::BadMacro(e) => write!(f, "bad macro: {e}"),
             RecordError::BadTerm(s) => write!(f, "unparsable term {s}"),
+            RecordError::DuplicateModifier(s) => {
+                write!(f, "modifier {s}= appears more than once")
+            }
         }
     }
 }
@@ -182,7 +188,26 @@ impl SpfRecord {
             if let Some(eq) = term.find('=') {
                 let colon = term.find(':');
                 if colon.map_or(true, |c| eq < c) {
-                    modifiers.push(Self::parse_modifier(&term[..eq], &term[eq + 1..])?);
+                    let modifier = Self::parse_modifier(&term[..eq], &term[eq + 1..])?;
+                    // §6: redirect= and exp= MUST NOT appear more than once
+                    // each; a repeat is a syntax error (check_host() returns
+                    // permerror). Unknown modifiers may repeat freely.
+                    let dup = |wanted: &Modifier| -> bool {
+                        matches!(
+                            (wanted, &modifier),
+                            (Modifier::Redirect(_), Modifier::Redirect(_))
+                                | (Modifier::Explanation(_), Modifier::Explanation(_))
+                        )
+                    };
+                    if modifiers.iter().any(dup) {
+                        return Err(RecordError::DuplicateModifier(
+                            match modifier {
+                                Modifier::Redirect(_) => "redirect",
+                                _ => "exp",
+                            },
+                        ));
+                    }
+                    modifiers.push(modifier);
                     continue;
                 }
             }
@@ -496,6 +521,25 @@ mod tests {
             SpfRecord::parse("v=spf1 exists:%{q}"),
             Err(RecordError::BadMacro(_))
         ));
+    }
+
+    /// RFC 7208 §6: a second redirect= or exp= is a syntax error. Found by
+    /// the differential conformance fuzzer (crates/conformance): the
+    /// pre-fix parser silently kept both and evaluated the first, where
+    /// every RFC-conformant validator returns permerror.
+    #[test]
+    fn duplicate_redirect_or_exp_is_an_error() {
+        assert_eq!(
+            SpfRecord::parse("v=spf1 redirect=a.example.com redirect=b.example.com"),
+            Err(RecordError::DuplicateModifier("redirect"))
+        );
+        assert_eq!(
+            SpfRecord::parse("v=spf1 exp=e1.example.com -all exp=e2.example.com"),
+            Err(RecordError::DuplicateModifier("exp"))
+        );
+        // One of each is fine, and unknown modifiers may repeat.
+        assert!(SpfRecord::parse("v=spf1 redirect=a.test exp=e.test").is_ok());
+        assert!(SpfRecord::parse("v=spf1 x-a=1 x-a=2 -all").is_ok());
     }
 
     #[test]

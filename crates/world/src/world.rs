@@ -356,7 +356,11 @@ fn pick_distinct(rng: &mut SimRng, bound: usize, count: usize) -> Vec<usize> {
     while seen.len() < count {
         seen.insert(rng.below(bound as u64) as usize);
     }
-    seen.into_iter().collect()
+    // HashSet iteration order depends on the per-process hash seed; a
+    // sort keeps the world identical across runs for the same SimRng.
+    let mut out: Vec<usize> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
 }
 
 /// Incremental host construction with shared-pool bookkeeping.

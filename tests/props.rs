@@ -161,6 +161,159 @@ fn wire_decode_never_panics() {
     }
 }
 
+/// A 12-byte header with `qdcount` questions declared.
+fn wire_header(qdcount: u16) -> Vec<u8> {
+    let mut out = vec![0u8; 12];
+    out[0] = 0x12;
+    out[1] = 0x34;
+    out[4] = (qdcount >> 8) as u8;
+    out[5] = (qdcount & 0xff) as u8;
+    out
+}
+
+/// A compression pointer aimed at its own first byte must be rejected,
+/// not chased forever.
+#[test]
+fn wire_self_pointer_is_rejected() {
+    let mut bytes = wire_header(1);
+    // The question name starts at offset 12 and points at offset 12.
+    bytes.extend_from_slice(&[0xc0, 12]);
+    bytes.extend_from_slice(&[0, 16, 0, 1]); // TXT IN
+    assert_eq!(wire::decode(&bytes), Err(wire::WireError::BadPointer));
+}
+
+/// Pointers may only move backwards; a forward target is rejected even
+/// though it would terminate.
+#[test]
+fn wire_forward_pointer_is_rejected() {
+    let mut bytes = wire_header(1);
+    // Points past itself at a perfectly valid root label.
+    bytes.extend_from_slice(&[0xc0, 14, 0]);
+    bytes.extend_from_slice(&[0, 16, 0, 1]);
+    assert_eq!(wire::decode(&bytes), Err(wire::WireError::BadPointer));
+}
+
+/// A backwards-only pointer chain that is deeper than the hop limit is
+/// cut off: question `i` chases `i` pointers, so 34 questions put the
+/// last name at 33 hops — one past the 32-hop cap.
+#[test]
+fn wire_deep_pointer_chain_is_cut_off() {
+    let questions = 34usize;
+    let mut bytes = wire_header(questions as u16);
+    let mut name_offsets = Vec::new();
+    for i in 0..questions {
+        name_offsets.push(bytes.len());
+        if i == 0 {
+            bytes.extend_from_slice(&[1, b'a', 0]);
+        } else {
+            let target = name_offsets[i - 1];
+            bytes.extend_from_slice(&[
+                1,
+                b'a',
+                0xc0 | (target >> 8) as u8,
+                (target & 0xff) as u8,
+            ]);
+        }
+        bytes.extend_from_slice(&[0, 16, 0, 1]);
+    }
+    assert_eq!(wire::decode(&bytes), Err(wire::WireError::BadPointer));
+    // One question fewer sits exactly at the cap and decodes fine.
+    let questions = 33usize;
+    let mut bytes = wire_header(questions as u16);
+    let mut name_offsets = Vec::new();
+    for i in 0..questions {
+        name_offsets.push(bytes.len());
+        if i == 0 {
+            bytes.extend_from_slice(&[1, b'a', 0]);
+        } else {
+            let target = name_offsets[i - 1];
+            bytes.extend_from_slice(&[
+                1,
+                b'a',
+                0xc0 | (target >> 8) as u8,
+                (target & 0xff) as u8,
+            ]);
+        }
+        bytes.extend_from_slice(&[0, 16, 0, 1]);
+    }
+    let message = wire::decode(&bytes).expect("a chain at the cap decodes");
+    assert_eq!(message.questions.len(), 33);
+    assert_eq!(message.questions[32].name.label_count(), 33);
+}
+
+/// A message that ends in the middle of a pointer (or a label) reports
+/// truncation rather than reading out of bounds.
+#[test]
+fn wire_truncated_pointer_is_rejected() {
+    let mut bytes = wire_header(1);
+    bytes.push(0xc0); // pointer high byte, then EOF
+    assert_eq!(wire::decode(&bytes), Err(wire::WireError::Truncated));
+
+    let mut bytes = wire_header(1);
+    bytes.extend_from_slice(&[5, b'a', b'b']); // label claims 5, has 2
+    assert_eq!(wire::decode(&bytes), Err(wire::WireError::Truncated));
+}
+
+/// The reserved `0b01`/`0b10` label-type prefixes are rejected loudly.
+#[test]
+fn wire_reserved_label_types_are_rejected() {
+    for prefix in [0x40u8, 0x80u8] {
+        let mut bytes = wire_header(1);
+        bytes.extend_from_slice(&[prefix | 1, b'a', 0]);
+        bytes.extend_from_slice(&[0, 16, 0, 1]);
+        assert_eq!(
+            wire::decode(&bytes),
+            Err(wire::WireError::ReservedLabelType(prefix)),
+        );
+    }
+}
+
+/// Mutation fuzz: take a valid (compressed) encoding and corrupt it —
+/// random byte flips and truncations. The decoder must always return,
+/// and whatever it accepts must re-encode without panicking.
+#[test]
+fn wire_mutated_messages_never_panic() {
+    for mut rng in cases("wire_mutated_messages_never_panic") {
+        // Shared suffixes force real compression pointers into the wire.
+        let apex = gen_name(&mut rng);
+        let mut message = Message::query(
+            rng.below(u64::from(u16::MAX) + 1) as u16,
+            apex.clone(),
+            RecordType::TXT,
+        );
+        for _ in 0..rng.below(4) {
+            let mut record = gen_record(&mut rng);
+            if let Ok(child) = apex.child(&gen_label(&mut rng)) {
+                record.name = child;
+            }
+            message.answers.push(record);
+        }
+        let encoded = wire::encode(&message);
+
+        for _ in 0..8 {
+            let mut mutated = encoded.clone();
+            match rng.below(3) {
+                0 => {
+                    let cut = rng.below(mutated.len() as u64 + 1) as usize;
+                    mutated.truncate(cut);
+                }
+                _ => {
+                    for _ in 0..1 + rng.below(4) {
+                        if mutated.is_empty() {
+                            break;
+                        }
+                        let at = rng.below(mutated.len() as u64) as usize;
+                        mutated[at] = rng.below(256) as u8;
+                    }
+                }
+            }
+            if let Ok(decoded) = wire::decode(&mutated) {
+                let _ = wire::encode(&decoded);
+            }
+        }
+    }
+}
+
 /// Name parsing accepts what it produces.
 #[test]
 fn name_display_parse_round_trip() {

@@ -374,3 +374,68 @@ fn mechanisms_before_redirect_win() {
     assert_eq!(check(&mut zone, "198.51.100.1"), SpfResult::Pass);
     assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::Fail);
 }
+
+#[test]
+fn all_before_redirect_makes_redirect_inert() {
+    // §6.1: redirect= is only used when the record's mechanisms ran out
+    // without a match — an `all` term always matches first, even when the
+    // redirect target would give a different answer.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 ~all redirect=_spf.example.com");
+    zone.add("_spf.example.com", RData::txt("v=spf1 +all"));
+    assert_eq!(check(&mut zone, "203.0.113.1"), SpfResult::SoftFail);
+}
+
+#[test]
+fn duplicate_redirect_modifier_is_permerror() {
+    // §6: redirect appearing twice is a syntax error for the whole record.
+    let mut zone = Zone::rfc_appendix_a()
+        .with_policy("v=spf1 redirect=_spf.example.com redirect=_spf.example.com");
+    zone.add("_spf.example.com", RData::txt("v=spf1 +all"));
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::PermError);
+}
+
+#[test]
+fn duplicate_exp_modifier_is_permerror() {
+    let mut zone = Zone::rfc_appendix_a()
+        .with_policy("v=spf1 -all exp=explain.example.com exp=explain.example.com");
+    zone.add("explain.example.com", RData::txt("go away"));
+    assert_eq!(check(&mut zone, "192.0.2.10"), SpfResult::PermError);
+}
+
+#[test]
+fn exp_expansion_uses_macros_from_the_failing_check() {
+    // §6.2: the explanation TXT is macro-expanded with the connection's
+    // context — client IP, sender, and the domain whose policy failed.
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 mx -all exp=explain.example.com");
+    zone.add(
+        "explain.example.com",
+        RData::txt("%{i} is not a listed MX for %{s}"),
+    );
+    let mut expander = CompliantExpander;
+    let mut eval = Evaluator::new(&mut zone, &mut expander);
+    let result = eval.check_host(
+        "203.0.113.1".parse().expect("ip"),
+        "strong-bad",
+        "example.com",
+    );
+    assert_eq!(result, SpfResult::Fail);
+    assert_eq!(
+        eval.explanation(),
+        Some("203.0.113.1 is not a listed MX for strong-bad@example.com"),
+    );
+}
+
+#[test]
+fn exp_is_ignored_on_non_fail_results() {
+    let mut zone = Zone::rfc_appendix_a().with_policy("v=spf1 mx ~all exp=explain.example.com");
+    zone.add("explain.example.com", RData::txt("unused"));
+    let mut expander = CompliantExpander;
+    let mut eval = Evaluator::new(&mut zone, &mut expander);
+    let result = eval.check_host(
+        "203.0.113.1".parse().expect("ip"),
+        "strong-bad",
+        "example.com",
+    );
+    assert_eq!(result, SpfResult::SoftFail);
+    assert_eq!(eval.explanation(), None);
+}
