@@ -161,6 +161,76 @@ fn txt_resolve_allocation_budget() {
     assert!(hit <= CACHED_HIT_BUDGET, "cached TXT hit allocated {hit} times");
 }
 
+/// Tracing must be free when it is off: a resolver carrying a *disabled*
+/// `Tracer` allocates exactly as much as one carrying no tracer at all —
+/// zero extra allocations on the cached-resolve hot path. The enabled
+/// path pays a bounded per-span cost (events plus the lazily formatted
+/// label), capped here so instrumentation creep shows up in tier-1.
+#[test]
+fn tracing_allocation_budget() {
+    use spfail_trace::{TraceConfig, Tracer};
+
+    let cached_hit = |resolver: &mut Resolver, rng: &mut SimRng, qname: &Name| {
+        let (allocs, outcome) = count_allocs(|| {
+            resolver.resolve(rng, qname, RecordType::A).unwrap()
+        });
+        assert_eq!(outcome.records().len(), 1, "cache must answer");
+        allocs
+    };
+
+    // Baseline: no tracer attached.
+    let (mut resolver, mut rng) = fixture();
+    let qname = n("mail.example.com");
+    resolver.resolve(&mut rng, &qname, RecordType::A).unwrap();
+    let baseline = cached_hit(&mut resolver, &mut rng, &qname);
+
+    // A disabled tracer must change nothing: same cached-hit count, and
+    // zero allocations attributable to tracing.
+    resolver.set_tracer(Tracer::disabled());
+    let disabled = cached_hit(&mut resolver, &mut rng, &qname);
+    eprintln!("alloc_count: cached hit baseline = {baseline}, with disabled tracer = {disabled}");
+    assert_eq!(
+        disabled, baseline,
+        "a disabled Tracer must add zero allocations to the cached-resolve hot path"
+    );
+    assert_eq!(
+        disabled, 0,
+        "the cached-resolve hot path with tracing disabled must stay allocation-free"
+    );
+
+    // Enabled tracing, inside an open probe record (the campaign shape):
+    // amortized per-span overhead over a run of cached resolves.
+    let tracer = Tracer::new(TraceConfig::enabled());
+    resolver.set_tracer(tracer.clone());
+    tracer.begin_probe(spfail_netsim::SimTime::EPOCH, 0, 0, 0, 0);
+    // Warm up the event buffer so Vec growth amortizes out of the sample.
+    for _ in 0..4 {
+        resolver.resolve(&mut rng, &qname, RecordType::A).unwrap();
+    }
+    const SPANS: u64 = 32;
+    let (traced, _) = count_allocs(|| {
+        for _ in 0..SPANS {
+            resolver.resolve(&mut rng, &qname, RecordType::A).unwrap();
+        }
+    });
+    let per_span = (traced.saturating_sub(baseline * SPANS)) / SPANS;
+    eprintln!(
+        "alloc_count: traced cached hit = {per_span} allocs/span over baseline \
+         ({traced} total over {SPANS})"
+    );
+    assert!(
+        per_span <= PER_SPAN_TRACING_BUDGET,
+        "enabled tracing averaged {per_span} allocations per dns_resolve span, \
+         budget {PER_SPAN_TRACING_BUDGET}"
+    );
+}
+
+/// Measured: 3 allocations per traced span on the run above — the
+/// formatted label String, its `Some(String)` event slot, and amortized
+/// event-buffer growth. The budget leaves room for one more field
+/// without letting a per-event or per-byte allocation (10x+) sneak past.
+const PER_SPAN_TRACING_BUDGET: u64 = 4;
+
 /// The differential conformance oracle runs `run_case` thousands of
 /// times per tier-1 run (and 5000 times in the CI smoke), so its
 /// per-case allocation count is a budgeted quantity like the resolve hot

@@ -23,6 +23,7 @@
 //! | [`mta`]     | `spfail-mta`     | probeable mail servers |
 //! | [`world`]   | `spfail-world`   | the calibrated synthetic Internet |
 //! | [`prober`]  | `spfail-prober`  | NoMsg/BlankMsg probes, classification, campaigns |
+//! | [`trace`]   | `spfail-trace`   | deterministic spans, shard-invariant merge, profiles |
 //! | [`notify`]  | `spfail-notify`  | the private-notification campaign |
 //! | [`report`]  | `spfail-report`  | every table and figure of the paper |
 //! | [`conformance`] | `spfail-conformance` | differential oracle, fuzzer, regression corpus |
@@ -65,6 +66,7 @@ pub use spfail_prober as prober;
 pub use spfail_report as report;
 pub use spfail_smtp as smtp;
 pub use spfail_spf as spf;
+pub use spfail_trace as trace;
 pub use spfail_world as world;
 
 /// The stack-wide probe-failure vocabulary (re-exported from

@@ -19,6 +19,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use spfail_netsim::{Link, Metrics, SimDuration, SimRng, SimTime};
+use spfail_trace::{SpanKind, Tracer};
 
 use crate::authority::Authority;
 use crate::message::{Message, Rcode};
@@ -187,6 +188,7 @@ pub struct Resolver {
     config: ResolverConfig,
     cache: HashMap<(Name, RecordType), CacheEntry>,
     metrics: Metrics,
+    tracer: Tracer,
     next_id: u16,
 }
 
@@ -211,8 +213,15 @@ impl Resolver {
             config,
             cache: HashMap::new(),
             metrics,
+            tracer: Tracer::disabled(),
             next_id: 1,
         }
+    }
+
+    /// Attach a tracing handle; every subsequent [`Resolver::resolve`]
+    /// records a `dns_resolve` span labelled with its question.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// The client address queries are attributed to.
@@ -227,6 +236,36 @@ impl Resolver {
 
     /// Resolve `name`/`rtype`, following CNAME chains.
     pub fn resolve(
+        &mut self,
+        rng: &mut SimRng,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Result<LookupOutcome, LookupError> {
+        // The untraced path must stay allocation-free on cache hits
+        // (`crates/bench/tests/alloc_count.rs`), so the span — and its
+        // label formatting — exist only behind the enabled check.
+        if !self.tracer.is_enabled() {
+            return self.resolve_chain(rng, name, rtype);
+        }
+        self.tracer.enter_labeled(self.link.clock().now(), SpanKind::DnsResolve, || {
+            format!("{rtype} {name}")
+        });
+        let result = self.resolve_chain(rng, name, rtype);
+        let outcome = match &result {
+            Ok(LookupOutcome::Records(_)) => "ok",
+            Ok(LookupOutcome::NxDomain) => "nxdomain",
+            Ok(LookupOutcome::NoRecords) => "nodata",
+            Err(LookupError::Timeout) => "timeout",
+            Err(LookupError::ServFail(_)) => "servfail",
+            Err(LookupError::NoAuthority(_)) => "no_authority",
+            Err(LookupError::CnameChainTooLong) => "cname_loop",
+        };
+        self.tracer
+            .exit(self.link.clock().now(), SpanKind::DnsResolve, outcome);
+        result
+    }
+
+    fn resolve_chain(
         &mut self,
         rng: &mut SimRng,
         name: &Name,

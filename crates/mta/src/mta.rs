@@ -105,6 +105,13 @@ impl Mta {
         }
     }
 
+    /// Attach a tracing handle to the MTA's resolver so the DNS lookups
+    /// its SPF validation performs appear as `dns_resolve` spans in the
+    /// probing client's trace.
+    pub fn set_dns_tracer(&mut self, tracer: spfail_trace::Tracer) {
+        self.resolver.set_tracer(tracer);
+    }
+
     /// The configuration (mutable, so campaigns can patch the host).
     pub fn config_mut(&mut self) -> &mut MtaConfig {
         &mut self.config

@@ -384,6 +384,127 @@ mod tests {
         assert_eq!(a.merge(&MetricsSnapshot::default()), a);
     }
 
+    /// A snapshot with a distinct value in every field, so a swapped or
+    /// dropped field in `snapshot`/`merge` cannot cancel out.
+    fn distinct_snapshot(base: u64) -> MetricsSnapshot {
+        let m = Metrics::new();
+        let fields: [&dyn Fn(&Metrics); 15] = [
+            &Metrics::inc_connections_attempted,
+            &Metrics::inc_connections_refused,
+            &Metrics::inc_connections_aborted,
+            &Metrics::inc_datagrams_sent,
+            &Metrics::inc_datagrams_dropped,
+            &Metrics::inc_dns_queries,
+            &Metrics::inc_dns_cache_hits,
+            &Metrics::inc_dns_truncated,
+            &Metrics::inc_dns_timeouts,
+            &Metrics::inc_dns_servfails,
+            &Metrics::inc_smtp_tempfails,
+            &Metrics::inc_connection_resets,
+            &Metrics::inc_window_closed_probes,
+            &Metrics::inc_probe_retries,
+            &Metrics::inc_probes_recovered,
+        ];
+        for (i, inc) in fields.iter().enumerate() {
+            for _ in 0..(base + i as u64) {
+                inc(&m);
+            }
+        }
+        m.add_bytes_sent(base + fields.len() as u64);
+        m.snapshot()
+    }
+
+    /// Every snapshot field reflects its counter, and `merge` sums every
+    /// field. The exhaustive (no `..`) destructurings make adding a
+    /// `MetricsSnapshot` field without extending this test a compile
+    /// error.
+    #[test]
+    fn snapshot_and_merge_cover_every_field() {
+        let a = distinct_snapshot(100);
+        let MetricsSnapshot {
+            connections_attempted,
+            connections_refused,
+            connections_aborted,
+            datagrams_sent,
+            datagrams_dropped,
+            bytes_sent,
+            dns_queries,
+            dns_cache_hits,
+            dns_truncated,
+            dns_timeouts,
+            dns_servfails,
+            smtp_tempfails,
+            connection_resets,
+            window_closed_probes,
+            probe_retries,
+            probes_recovered,
+        } = a;
+        // Field order here matches the counter order in `distinct_snapshot`.
+        let expected = [
+            connections_attempted,
+            connections_refused,
+            connections_aborted,
+            datagrams_sent,
+            datagrams_dropped,
+            dns_queries,
+            dns_cache_hits,
+            dns_truncated,
+            dns_timeouts,
+            dns_servfails,
+            smtp_tempfails,
+            connection_resets,
+            window_closed_probes,
+            probe_retries,
+            probes_recovered,
+        ];
+        for (i, &got) in expected.iter().enumerate() {
+            assert_eq!(got, 100 + i as u64, "counter {i} mis-snapshotted");
+        }
+        assert_eq!(bytes_sent, 100 + expected.len() as u64);
+
+        let b = distinct_snapshot(1000);
+        let merged = a.merge(&b);
+        let MetricsSnapshot {
+            connections_attempted,
+            connections_refused,
+            connections_aborted,
+            datagrams_sent,
+            datagrams_dropped,
+            bytes_sent,
+            dns_queries,
+            dns_cache_hits,
+            dns_truncated,
+            dns_timeouts,
+            dns_servfails,
+            smtp_tempfails,
+            connection_resets,
+            window_closed_probes,
+            probe_retries,
+            probes_recovered,
+        } = merged;
+        let sums = [
+            (connections_attempted, a.connections_attempted, b.connections_attempted),
+            (connections_refused, a.connections_refused, b.connections_refused),
+            (connections_aborted, a.connections_aborted, b.connections_aborted),
+            (datagrams_sent, a.datagrams_sent, b.datagrams_sent),
+            (datagrams_dropped, a.datagrams_dropped, b.datagrams_dropped),
+            (bytes_sent, a.bytes_sent, b.bytes_sent),
+            (dns_queries, a.dns_queries, b.dns_queries),
+            (dns_cache_hits, a.dns_cache_hits, b.dns_cache_hits),
+            (dns_truncated, a.dns_truncated, b.dns_truncated),
+            (dns_timeouts, a.dns_timeouts, b.dns_timeouts),
+            (dns_servfails, a.dns_servfails, b.dns_servfails),
+            (smtp_tempfails, a.smtp_tempfails, b.smtp_tempfails),
+            (connection_resets, a.connection_resets, b.connection_resets),
+            (window_closed_probes, a.window_closed_probes, b.window_closed_probes),
+            (probe_retries, a.probe_retries, b.probe_retries),
+            (probes_recovered, a.probes_recovered, b.probes_recovered),
+        ];
+        for (i, &(got, lhs, rhs)) in sums.iter().enumerate() {
+            assert_eq!(got, lhs + rhs, "field {i} not summed by merge");
+        }
+    }
+
     #[test]
     fn histogram_records_bucketed_stats() {
         let h = histogram_sample(&[0, 1, 2, 3, 7, 1024]);

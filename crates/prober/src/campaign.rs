@@ -14,6 +14,7 @@ use std::collections::HashMap;
 
 use spfail_dns::QueryLog;
 use spfail_netsim::{FaultProfile, MetricsSnapshot, SimDuration};
+use spfail_trace::{Phase, Trace, TraceConfig, Tracer};
 use spfail_world::{DomainId, HostId, Timeline, World};
 
 use crate::classify::Classification;
@@ -298,6 +299,11 @@ pub struct CampaignRun {
     /// Per-phase simulated busy time, when requested with
     /// [`CampaignBuilder::timed`].
     pub timing: Option<CampaignTiming>,
+    /// The campaign's structured trace, when requested with
+    /// [`CampaignBuilder::trace`]. Identity-ordered, so identical for
+    /// every shard count — `tests/trace_equivalence.rs` asserts
+    /// byte-for-byte equality of its exported forms.
+    pub trace: Option<Trace>,
 }
 
 /// The one way to configure and run a measurement campaign.
@@ -327,6 +333,7 @@ pub struct CampaignBuilder {
     shards: usize,
     options: ProbeOptions,
     timed: bool,
+    trace: TraceConfig,
 }
 
 impl CampaignBuilder {
@@ -363,16 +370,24 @@ impl CampaignBuilder {
         self
     }
 
+    /// Record a structured trace of every probe into
+    /// [`CampaignRun::trace`].
+    pub fn trace(mut self, config: TraceConfig) -> CampaignBuilder {
+        self.trace = config;
+        self
+    }
+
     /// Run the configured campaign against `world`.
     pub fn run(self, world: &World) -> CampaignRun {
-        let (data, timing) = if self.shards > 1 {
-            Campaign::sharded_engine(world, self.shards, &self.options)
+        let (data, timing, trace) = if self.shards > 1 {
+            Campaign::sharded_engine(world, self.shards, &self.options, self.trace)
         } else {
-            Campaign::sequential_engine(world, &self.options)
+            Campaign::sequential_engine(world, &self.options, self.trace)
         };
         CampaignRun {
             data,
             timing: self.timed.then_some(timing),
+            trace,
         }
     }
 }
@@ -390,11 +405,13 @@ impl Campaign {
     fn sequential_engine(
         world: &World,
         opts: &ProbeOptions,
-    ) -> (CampaignData, CampaignTiming) {
+        trace: TraceConfig,
+    ) -> (CampaignData, CampaignTiming, Option<Trace>) {
+        let tracer = Tracer::new(trace);
         let mut prober = Prober::with_options(
             world,
             "s1",
-            ProbeContext::shared(world),
+            ProbeContext::shared(world).with_tracer(tracer.clone()),
             MAX_CONCURRENT,
             *opts,
         );
@@ -428,7 +445,7 @@ impl Campaign {
         let mut prober = Prober::with_options(
             world,
             "s1",
-            ProbeContext::shared(world),
+            ProbeContext::shared(world).with_tracer(tracer.clone()),
             MAX_CONCURRENT,
             *opts,
         );
@@ -456,7 +473,10 @@ impl Campaign {
             rounds: rounds_busy,
             snapshot: snapshot_busy,
         };
-        (data, timing)
+        // `finish` sorts into identity order — the same normalisation the
+        // sharded merge applies, so the two engines' exports are
+        // byte-identical.
+        (data, timing, trace.enabled.then(|| tracer.finish()))
     }
 
     /// The sharded engine: one worker per shard, merged in canonical
@@ -480,8 +500,10 @@ impl Campaign {
         world: &World,
         shards: usize,
         opts: &ProbeOptions,
-    ) -> (CampaignData, CampaignTiming) {
+        trace: TraceConfig,
+    ) -> (CampaignData, CampaignTiming, Option<Trace>) {
         let shards = shards.max(1);
+        let mut trace_parts: Vec<Trace> = Vec::new();
         let budget = (MAX_CONCURRENT / shards).max(1);
         let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
         let partitions = partition_hosts(&all_hosts, shards);
@@ -494,16 +516,18 @@ impl Campaign {
             EthicsAudit,
             MetricsSnapshot,
             SimDuration,
+            Trace,
         );
         let sweep_outputs: Vec<SweepOut> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = partitions
                 .iter()
                 .map(|part| {
                     s.spawn(move |_| {
+                        let tracer = Tracer::new(trace);
                         let mut prober = Prober::with_options(
                             world,
                             "s1",
-                            ProbeContext::isolated(world),
+                            ProbeContext::isolated(world).with_tracer(tracer.clone()),
                             budget,
                             *opts,
                         );
@@ -515,6 +539,7 @@ impl Campaign {
                             prober.ethics().audit().clone(),
                             prober.metrics().snapshot(),
                             busy,
+                            tracer.finish(),
                         )
                     })
                 })
@@ -531,12 +556,15 @@ impl Campaign {
         let mut ethics = EthicsAudit::default();
         let mut network = MetricsSnapshot::default();
         let mut initial_busy = SimDuration::ZERO;
-        for (part_initial, part_counts, part_audit, part_network, busy) in sweep_outputs {
+        for (part_initial, part_counts, part_audit, part_network, busy, part_trace) in
+            sweep_outputs
+        {
             initial.results.extend(part_initial.results);
             counts.extend(part_counts);
             ethics = ethics.merge(&part_audit);
             network = network.merge(&part_network);
             initial_busy = initial_busy.max(busy);
+            trace_parts.push(part_trace);
         }
         let (tracked, vulnerable_domains, preferred) = Self::derive_tracking(world, &initial);
 
@@ -549,6 +577,7 @@ impl Campaign {
             Vec<(HashMap<HostId, RoundStatus>, SimDuration)>,
             EthicsAudit,
             MetricsSnapshot,
+            Trace,
         );
         let round_outputs: Vec<RoundOut> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = tracked_parts
@@ -561,10 +590,11 @@ impl Campaign {
                     let round_days = &round_days;
                     let preferred = &preferred;
                     s.spawn(move |_| {
+                        let tracer = Tracer::new(trace);
                         let mut prober = Prober::with_options(
                             world,
                             "s1",
-                            ProbeContext::isolated(world),
+                            ProbeContext::isolated(world).with_tracer(tracer.clone()),
                             budget,
                             *opts,
                         );
@@ -585,6 +615,7 @@ impl Campaign {
                             statuses,
                             prober.ethics().audit().clone(),
                             prober.metrics().snapshot(),
+                            tracer.finish(),
                         )
                     })
                 })
@@ -604,7 +635,7 @@ impl Campaign {
             .map(|&day| (day, HashMap::new()))
             .collect();
         let mut round_busies = vec![SimDuration::ZERO; round_days.len()];
-        for (shard_statuses, part_audit, part_network) in round_outputs {
+        for (shard_statuses, part_audit, part_network, part_trace) in round_outputs {
             for (i, (slot, (statuses, busy))) in
                 rounds.iter_mut().zip(shard_statuses).enumerate()
             {
@@ -613,6 +644,7 @@ impl Campaign {
             }
             ethics = ethics.merge(&part_audit);
             network = network.merge(&part_network);
+            trace_parts.push(part_trace);
         }
         let rounds_busy = round_busies
             .into_iter()
@@ -627,6 +659,7 @@ impl Campaign {
             MetricsSnapshot,
             QueryLog,
             SimDuration,
+            Trace,
         );
         let snapshot_outputs: Vec<SnapOut> = crossbeam::thread::scope(|s| {
             let handles: Vec<_> = target_parts
@@ -634,10 +667,11 @@ impl Campaign {
                 .map(|part| {
                     let preferred = &preferred;
                     s.spawn(move |_| {
+                        let tracer = Tracer::new(trace);
                         let mut prober = Prober::with_options(
                             world,
                             "s1",
-                            ProbeContext::isolated(world),
+                            ProbeContext::isolated(world).with_tracer(tracer.clone()),
                             budget,
                             *opts,
                         );
@@ -654,6 +688,7 @@ impl Campaign {
                             prober.metrics().snapshot(),
                             log,
                             busy,
+                            tracer.finish(),
                         )
                     })
                 })
@@ -668,12 +703,13 @@ impl Campaign {
         let mut host_statuses: HashMap<HostId, RoundStatus> = HashMap::new();
         let mut snapshot_logs = Vec::new();
         let mut snapshot_busy = SimDuration::ZERO;
-        for (statuses, part_audit, part_network, log, busy) in snapshot_outputs {
+        for (statuses, part_audit, part_network, log, busy, part_trace) in snapshot_outputs {
             host_statuses.extend(statuses);
             ethics = ethics.merge(&part_audit);
             network = network.merge(&part_network);
             snapshot_logs.push(log);
             snapshot_busy = snapshot_busy.max(busy);
+            trace_parts.push(part_trace);
         }
         let snapshot = Self::aggregate_snapshot(&domain_hosts, &host_statuses);
 
@@ -700,7 +736,9 @@ impl Campaign {
             rounds: rounds_busy,
             snapshot: snapshot_busy,
         };
-        (data, timing)
+        // Identity-order merge: which shard recorded a probe leaves no
+        // mark, so this equals the sequential engine's trace exactly.
+        (data, timing, trace.enabled.then(|| Trace::merge(trace_parts)))
     }
 
     /// The initial sweep over `hosts` (the whole world for the
@@ -711,6 +749,7 @@ impl Campaign {
         hosts: &[HostId],
     ) -> (InitialMeasurement, SimDuration) {
         let query_log = prober.context().query_log.clone();
+        prober.context().tracer.set_phase(Phase::Initial);
         prober
             .context()
             .clock
@@ -797,6 +836,7 @@ impl Campaign {
         preferred: &HashMap<HostId, ProbeTest>,
         counts: &mut HashMap<HostId, u32>,
     ) -> (HashMap<HostId, RoundStatus>, SimDuration) {
+        prober.context().tracer.set_phase(Phase::Round(day));
         prober.context().clock.advance_to(Timeline::day_to_time(day));
         prober.context().query_log.clear();
         prober.ethics_mut().begin_sweep();
@@ -845,6 +885,7 @@ impl Campaign {
         hosts: &[HostId],
         preferred: &HashMap<HostId, ProbeTest>,
     ) -> (HashMap<HostId, RoundStatus>, SimDuration) {
+        prober.context().tracer.set_phase(Phase::Snapshot);
         let start = prober.context().clock.now();
         let mut statuses = HashMap::new();
         for &host in hosts {

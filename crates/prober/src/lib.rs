@@ -43,3 +43,4 @@ pub use probe::{
     ProbeContext, ProbeOptions, ProbeOutcome, ProbeTest, ProbeVerdict, Prober, RetryPolicy,
     CONNECT_TIMEOUT,
 };
+pub use spfail_trace::{Trace, TraceConfig, Tracer};

@@ -16,6 +16,7 @@ use spfail_smtp::client::{
     USERNAME_LADDER,
 };
 use spfail_smtp::session::SessionState;
+use spfail_trace::{SpanKind, Tracer};
 use spfail_world::{HostId, MtaInstrumentation, Timeline, World};
 
 use crate::classify::{classify, Classification, RESERVED_ID_LABELS};
@@ -177,6 +178,9 @@ pub struct ProbeContext {
     pub query_log: QueryLog,
     /// The clock probing advances.
     pub clock: SimClock,
+    /// The tracing handle probe spans are recorded into (disabled by
+    /// default, which costs nothing).
+    pub tracer: Tracer,
 }
 
 impl ProbeContext {
@@ -186,6 +190,7 @@ impl ProbeContext {
             directory: world.directory.clone(),
             query_log: world.query_log.clone(),
             clock: world.clock.clone(),
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -204,7 +209,14 @@ impl ProbeContext {
             directory,
             query_log,
             clock,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The same context recording into `tracer`.
+    pub fn with_tracer(mut self, tracer: Tracer) -> ProbeContext {
+        self.tracer = tracer;
+        self
     }
 }
 
@@ -439,6 +451,27 @@ impl<'w> Prober<'w> {
         test: ProbeTest,
         extra_connections: u32,
     ) -> ProbeOutcome {
+        // One `probe` call = one trace record; events inside are stamped
+        // relative to this instant, which is the property that makes a
+        // sharded trace merge byte-identical to the sequential one.
+        self.ctx
+            .tracer
+            .begin_probe(self.ctx.clock.now(), host.0, day, test.tag(), extra_connections);
+        let outcome = self.probe_attempt(host, day, test, extra_connections);
+        self.ctx.tracer.end_probe(self.ctx.clock.now());
+        outcome
+    }
+
+    /// One attempt, without opening a trace record of its own —
+    /// [`Prober::probe_with_retry`] wraps a whole retried sequence in a
+    /// single probe span with the attempts and backoffs as children.
+    fn probe_attempt(
+        &mut self,
+        host: HostId,
+        day: u16,
+        test: ProbeTest,
+        extra_connections: u32,
+    ) -> ProbeOutcome {
         let test_tag = test.tag();
         let occurrence = {
             let counter = self
@@ -460,7 +493,11 @@ impl<'w> Prober<'w> {
         // failed attempt is not free — it consumes the connect timeout
         // on the simulated clock, like any unreachable peer.
         if rng.chance(record.profile.flaky) {
+            self.ctx.tracer.enter(self.ctx.clock.now(), SpanKind::Fault);
             self.ctx.clock.advance(CONNECT_TIMEOUT);
+            self.ctx
+                .tracer
+                .exit(self.ctx.clock.now(), SpanKind::Fault, "flaky");
             return ProbeOutcome {
                 host,
                 test,
@@ -485,7 +522,11 @@ impl<'w> Prober<'w> {
         {
             if !window.is_open(Timeline::day_to_time(day)) {
                 self.metrics.inc_window_closed_probes();
+                self.ctx.tracer.enter(self.ctx.clock.now(), SpanKind::Fault);
                 self.ctx.clock.advance(CONNECT_TIMEOUT);
+                self.ctx
+                    .tracer
+                    .exit(self.ctx.clock.now(), SpanKind::Fault, "window_closed");
                 return ProbeOutcome {
                     host,
                     test,
@@ -506,6 +547,9 @@ impl<'w> Prober<'w> {
         match self.options.faults.smtp.smtp_outcome(&mut rng) {
             FaultOutcome::TempFailed => {
                 self.metrics.inc_smtp_tempfails();
+                let now = self.ctx.clock.now();
+                self.ctx.tracer.enter(now, SpanKind::Fault);
+                self.ctx.tracer.exit(now, SpanKind::Fault, "smtp_tempfail");
                 return ProbeOutcome {
                     host,
                     test,
@@ -520,6 +564,9 @@ impl<'w> Prober<'w> {
             }
             FaultOutcome::Reset => {
                 self.metrics.inc_connection_resets();
+                let now = self.ctx.clock.now();
+                self.ctx.tracer.enter(now, SpanKind::Fault);
+                self.ctx.tracer.exit(now, SpanKind::Fault, "smtp_reset");
                 return ProbeOutcome {
                     host,
                     test,
@@ -553,6 +600,7 @@ impl<'w> Prober<'w> {
                     .dns
                     .is_active()
                     .then_some(dns_salt.as_str()),
+                tracer: self.ctx.tracer.clone(),
             },
         );
         // Restore the host's cross-round connection count so blacklisting
@@ -619,7 +667,12 @@ impl<'w> Prober<'w> {
         extra_connections: u32,
     ) -> (ProbeOutcome, u32) {
         let started = self.ctx.clock.now();
-        let mut outcome = self.probe(host, day, test, extra_connections);
+        // The whole retried sequence is one probe record: attempts and
+        // their `retry_wait` backoffs are children of a single span.
+        self.ctx
+            .tracer
+            .begin_probe(started, host.0, day, test.tag(), extra_connections);
+        let mut outcome = self.probe_attempt(host, day, test, extra_connections);
         let mut attempts = 1u32;
         let max_attempts = self.options.retry.max_attempts.max(1);
         while attempts < max_attempts {
@@ -640,15 +693,22 @@ impl<'w> Prober<'w> {
                 test.tag()
             ));
             self.ctx
+                .tracer
+                .enter(self.ctx.clock.now(), SpanKind::RetryWait);
+            self.ctx
                 .clock
                 .advance(self.options.retry.backoff(attempts, &mut backoff_rng));
+            self.ctx
+                .tracer
+                .exit(self.ctx.clock.now(), SpanKind::RetryWait, "backoff");
             self.metrics.inc_probe_retries();
-            outcome = self.probe(host, day, test, extra_connections);
+            outcome = self.probe_attempt(host, day, test, extra_connections);
             attempts += 1;
         }
         if attempts > 1 && outcome.spf_measured() {
             self.metrics.inc_probes_recovered();
         }
+        self.ctx.tracer.end_probe(self.ctx.clock.now());
         (outcome, attempts)
     }
 
@@ -677,15 +737,33 @@ impl<'w> Prober<'w> {
         let mut attempt = 0;
         loop {
             attempt += 1;
+            // The ethics admit wait stays outside the session span: it is
+            // contact spacing, not conversation time.
             self.ethics.admit(ip);
+            self.ctx
+                .tracer
+                .enter(self.ctx.clock.now(), SpanKind::SmtpSession);
             let outcome = self.run_once(mta, sender_domain, test);
+            self.ctx.tracer.exit(
+                self.ctx.clock.now(),
+                SpanKind::SmtpSession,
+                outcome.as_ref().map_or("refused", TransactionOutcome::label),
+            );
             self.ethics.release(ip);
             match &outcome {
                 // Greylisting: wait 8 minutes and retry once (§6.1).
                 Some(TransactionOutcome::Transient { code, .. })
                     if (*code == 450 || *code == 451) && attempt == 1 =>
                 {
+                    self.ctx
+                        .tracer
+                        .enter(self.ctx.clock.now(), SpanKind::GreylistWait);
                     self.ethics.greylist_wait(ip);
+                    self.ctx.tracer.exit(
+                        self.ctx.clock.now(),
+                        SpanKind::GreylistWait,
+                        "greylisted",
+                    );
                 }
                 _ => return outcome,
             }

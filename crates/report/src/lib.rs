@@ -7,6 +7,7 @@
 //! * [`series`] — time-series containers and a text sparkline renderer.
 //! * [`tables`] — Tables 1–7.
 //! * [`resilience`] — fault-injection recall figure (not in the paper).
+//! * [`trace_profile`] — structured-trace latency profile (not in the paper).
 //! * [`figures`] — Figures 2–8 and the §7.7 notification funnel.
 //!
 //! The `experiments` binary drives everything:
@@ -27,6 +28,7 @@ pub mod series;
 pub mod stats;
 pub mod table;
 pub mod tables;
+pub mod trace_profile;
 
 pub use pipeline::Context;
 pub use table::Table;
@@ -68,6 +70,7 @@ pub fn all_exhibits(ctx: &Context) -> Vec<Exhibit> {
         figures::notification_funnel(ctx),
         figures::attribution(ctx),
         resilience::resilience(ctx),
+        trace_profile::trace_profile(ctx),
     ]
 }
 

@@ -92,6 +92,22 @@ impl TransactionOutcome {
         matches!(self, TransactionOutcome::Transient { .. })
     }
 
+    /// A stable lower-case tag for telemetry (trace span outcomes).
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransactionOutcome::RejectedAtConnect(_) => "rejected_connect",
+            TransactionOutcome::RejectedAtHello(_) => "rejected_hello",
+            TransactionOutcome::RejectedAtMailFrom(_) => "rejected_mail_from",
+            TransactionOutcome::RejectedAtRcpt(_) => "rejected_rcpt",
+            TransactionOutcome::RejectedAtData(_) => "rejected_data",
+            TransactionOutcome::Transient { .. } => "transient",
+            TransactionOutcome::ConnectionReset => "connection_reset",
+            TransactionOutcome::NoMsgCompleted => "nomsg_completed",
+            TransactionOutcome::MessageAccepted(_) => "message_accepted",
+            TransactionOutcome::MessageRejected(_) => "message_rejected",
+        }
+    }
+
     /// Map this conclusion into the stack-wide [`ProbeError`] vocabulary,
     /// or `None` when the transaction ran to plan.
     ///

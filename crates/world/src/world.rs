@@ -7,6 +7,7 @@ use spfail_dns::{Directory, Name, QueryLog, SpfTestAuthority};
 use spfail_libspf2::MacroBehavior;
 use spfail_mta::{ConnectPolicy, Mta, SpfStage};
 use spfail_netsim::{FaultPlan, LatencyModel, Link, Metrics, SimClock, SimRng};
+use spfail_trace::Tracer;
 
 use crate::config::WorldConfig;
 use crate::domains::{DomainId, DomainRecord, SetMembership, TldSampler};
@@ -48,6 +49,10 @@ pub struct MtaInstrumentation<'a> {
     /// timeout forever. With `None` the stream depends only on the host
     /// id, exactly as [`World::build_mta_in`] always derived it.
     pub reroll: Option<&'a str>,
+    /// Tracing handle installed on the MTA's resolver, so its SPF-driven
+    /// DNS lookups appear as spans in the probing client's trace. The
+    /// disabled default costs nothing.
+    pub tracer: Tracer,
 }
 
 impl World {
@@ -289,6 +294,7 @@ impl World {
                 dns_faults: FaultPlan::NONE,
                 metrics: Metrics::new(),
                 reroll: None,
+                tracer: Tracer::disabled(),
             },
         )
     }
@@ -317,14 +323,16 @@ impl World {
         if let Some(salt) = instrumentation.reroll {
             rng = rng.fork(salt);
         }
-        Mta::with_dns_link(
+        let mut mta = Mta::with_dns_link(
             config,
             std::net::IpAddr::V4(record.ip),
             directory,
             link,
             clock,
             rng,
-        )
+        );
+        mta.set_dns_tracer(instrumentation.tracer);
+        mta
     }
 
     /// A deterministic RNG stream for a named consumer of this world.

@@ -14,18 +14,27 @@
 //! result is bit-for-bit identical for every `N` (see tests/parallel.rs).
 //! `--dns-drop P` injects DNS datagram loss with probability `P` on every
 //! probed host's resolver path, and `--retry` answers the induced
-//! transient failures with the standard backoff policy.
+//! transient failures with the standard backoff policy. `--trace-out
+//! PATH` records a structured trace and writes the JSONL events to
+//! `PATH` plus a flamegraph-ready collapsed-stack file to
+//! `PATH.collapsed`; `--profile` prints the per-span-path latency
+//! profile. Either flag enables tracing, and the trace is byte-identical
+//! across shard counts (see tests/trace_equivalence.rs).
 
 use spfail::netsim::{FaultPlan, FaultProfile};
 use spfail::notify::{NotificationCampaign, PixelLog};
-use spfail::prober::{CampaignBuilder, RetryPolicy, SnapshotStatus};
+use spfail::prober::{CampaignBuilder, RetryPolicy, SnapshotStatus, TraceConfig};
+use spfail::trace::format_us;
 use spfail::world::{Timeline, World, WorldConfig};
 
-/// Command-line options: `--shards N`, `--dns-drop P`, `--retry`.
+/// Command-line options: `--shards N`, `--dns-drop P`, `--retry`,
+/// `--trace-out PATH`, `--profile`.
 struct Options {
     shards: usize,
     dns_drop: f64,
     retry: bool,
+    trace_out: Option<String>,
+    profile: bool,
 }
 
 fn parse_args() -> Options {
@@ -33,6 +42,8 @@ fn parse_args() -> Options {
         shards: 0,
         dns_drop: 0.0,
         retry: false,
+        trace_out: None,
+        profile: false,
     };
     let mut args = std::env::args().skip(1);
     let bad = |flag: &str, wants: &str| -> ! {
@@ -62,6 +73,10 @@ fn parse_args() -> Options {
                 .unwrap_or_else(|| bad("--dns-drop", wants));
         } else if arg == "--retry" {
             opts.retry = true;
+        } else if arg == "--trace-out" || arg.starts_with("--trace-out=") {
+            opts.trace_out = Some(value("--trace-out", "an output path"));
+        } else if arg == "--profile" {
+            opts.profile = true;
         }
     }
     opts
@@ -109,7 +124,12 @@ fn main() {
     if options.retry {
         builder = builder.retry(RetryPolicy::standard());
     }
-    let data = builder.run(&world).data;
+    let tracing = options.trace_out.is_some() || options.profile;
+    if tracing {
+        builder = builder.trace(TraceConfig::enabled());
+    }
+    let run = builder.run(&world);
+    let data = run.data;
     println!(
         "  {} addresses measured vulnerable, hosting {} domains",
         data.tracked.len(),
@@ -180,6 +200,44 @@ fn main() {
         funnel.opened,
         funnel.patched_between_disclosures,
     );
+
+    if let Some(trace) = &run.trace {
+        if let Some(path) = &options.trace_out {
+            std::fs::write(path, trace.to_jsonl()).expect("write trace JSONL");
+            let collapsed = format!("{path}.collapsed");
+            std::fs::write(&collapsed, trace.to_collapsed()).expect("write collapsed stacks");
+            println!(
+                "trace: {} probe records -> {path} (JSONL), {collapsed} (collapsed stacks)",
+                trace.len()
+            );
+        }
+        if options.profile {
+            let profile = trace.profile();
+            println!("latency profile ({} probes):", profile.probe_count());
+            println!(
+                "  {:<34} {:>7} {:>12} {:>12}",
+                "stack path", "count", "total", "self"
+            );
+            for (path, row) in profile.rows() {
+                println!(
+                    "  {:<34} {:>7} {:>12} {:>12}",
+                    path,
+                    row.count,
+                    format_us(row.total_us),
+                    format_us(row.self_us)
+                );
+            }
+            for (phase, hist) in profile.phases() {
+                println!(
+                    "  phase {:<12} {:>6} probes, mean {}, max {}",
+                    phase.label(),
+                    hist.count(),
+                    format_us(hist.mean().unwrap_or(0.0) as u64),
+                    format_us(hist.max().unwrap_or(0))
+                );
+            }
+        }
+    }
 
     println!();
     println!(

@@ -129,9 +129,9 @@ fn all_exhibits_build_and_are_nonempty() {
     let exhibits = all_exhibits(ctx);
     assert_eq!(
         exhibits.len(),
-        17,
-        "7 tables + 7 figures + the funnel + the attribution and \
-         resilience extensions"
+        18,
+        "7 tables + 7 figures + the funnel + the attribution, resilience, \
+         and trace-profile extensions"
     );
     for exhibit in &exhibits {
         assert!(

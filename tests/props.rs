@@ -8,8 +8,9 @@
 
 use spfail::dns::{wire, Message, Name, RData, Record, RecordType};
 use spfail::libspf2::{LibSpf2Expander, MemSim};
-use spfail::netsim::{EventQueue, SimRng, SimTime};
+use spfail::netsim::{EventQueue, Histogram, SimClock, SimDuration, SimRng, SimTime};
 use spfail::prober::{partition_hosts, shard_of};
+use spfail::trace::{parse_collapsed, Phase, Profile, SpanKind, Trace, TraceConfig, Tracer};
 use spfail::smtp::command::Command;
 use spfail::smtp::reply::Reply;
 use spfail::spf::expand::{
@@ -818,6 +819,185 @@ fn shard_merge_is_order_independent() {
         let mut shuffled = forward.clone();
         rng.shuffle(&mut shuffled);
         assert_eq!(merge(&forward), merge(&shuffled));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+const SPAN_KINDS: [SpanKind; 5] = [
+    SpanKind::DnsResolve,
+    SpanKind::SmtpSession,
+    SpanKind::RetryWait,
+    SpanKind::GreylistWait,
+    SpanKind::Fault,
+];
+
+/// Emit a random properly-nested span tree under the open probe,
+/// advancing the clock by random amounts inside and between spans.
+fn emit_spans(tracer: &Tracer, clock: &SimClock, rng: &mut SimRng, depth: u64) {
+    for _ in 0..rng.below(4) {
+        let kind = SPAN_KINDS[rng.below(SPAN_KINDS.len() as u64) as usize];
+        tracer.enter(clock.now(), kind);
+        clock.advance(SimDuration::from_micros(rng.below(50)));
+        if depth < 3 && rng.chance(0.5) {
+            emit_spans(tracer, clock, rng, depth + 1);
+        }
+        clock.advance(SimDuration::from_micros(rng.below(50)));
+        tracer.exit(clock.now(), kind, "ok");
+        clock.advance(SimDuration::from_micros(rng.below(20)));
+    }
+}
+
+/// A random multi-probe trace across random phases and identities.
+fn gen_trace(rng: &mut SimRng) -> Trace {
+    let tracer = Tracer::new(TraceConfig::enabled());
+    let clock = SimClock::new();
+    for _ in 0..rng.range(1, 8) {
+        let phase = match rng.below(3) {
+            0 => Phase::Initial,
+            1 => Phase::Round(rng.below(127) as u16),
+            _ => Phase::Snapshot,
+        };
+        tracer.set_phase(phase);
+        tracer.begin_probe(
+            clock.now(),
+            rng.below(64) as u32,
+            rng.below(127) as u16,
+            rng.below(2) as u8,
+            rng.below(4) as u32,
+        );
+        emit_spans(&tracer, &clock, rng, 0);
+        clock.advance(SimDuration::from_micros(rng.below(30)));
+        tracer.end_probe(clock.now());
+        clock.advance(SimDuration::from_micros(rng.below(1000)));
+    }
+    tracer.finish()
+}
+
+/// Spans recorded through the tracer are strictly well-parenthesized
+/// per probe, and every child interval is contained in its parent's —
+/// checked with an independent stack walker, not the crate's own
+/// `validate` (which must agree).
+#[test]
+fn trace_spans_nest_and_children_stay_inside_parents() {
+    for mut rng in cases("trace_spans_nest_and_children_stay_inside_parents") {
+        let trace = gen_trace(&mut rng);
+        for record in &trace.records {
+            record.validate().expect("tracer output is well-formed");
+
+            struct Frame {
+                start: u64,
+                children: Vec<(u64, u64)>,
+            }
+            let mut stack = vec![Frame { start: 0, children: Vec::new() }];
+            for event in &record.events {
+                match &event.kind {
+                    spfail::trace::TraceEventKind::Enter { .. } => stack.push(Frame {
+                        start: event.at_us,
+                        children: Vec::new(),
+                    }),
+                    spfail::trace::TraceEventKind::Exit { .. } => {
+                        let frame = stack.pop().expect("well-parenthesized");
+                        assert!(!stack.is_empty(), "exit must not close the probe root");
+                        let end = event.at_us;
+                        assert!(frame.start <= end);
+                        for &(cs, ce) in &frame.children {
+                            assert!(
+                                cs >= frame.start && ce <= end,
+                                "child [{cs}, {ce}] escapes parent [{}, {end}]",
+                                frame.start
+                            );
+                        }
+                        stack
+                            .last_mut()
+                            .expect("parent")
+                            .children
+                            .push((frame.start, end));
+                    }
+                }
+            }
+            assert_eq!(stack.len(), 1, "every span closed");
+            for &(cs, ce) in &stack[0].children {
+                assert!(cs <= ce && ce <= record.duration_us);
+            }
+        }
+    }
+}
+
+/// Histogram merging is associative and commutative with the empty
+/// histogram as identity — the algebra per-shard latency aggregation
+/// relies on.
+#[test]
+fn histogram_merge_is_associative_and_commutative() {
+    for mut rng in cases("histogram_merge_is_associative_and_commutative") {
+        let sample = |rng: &mut SimRng| {
+            let mut h = Histogram::default();
+            for _ in 0..rng.below(40) {
+                let magnitude = 1 << rng.below(40);
+                h.record(rng.below(magnitude));
+            }
+            h
+        };
+        let (a, b, c) = (sample(&mut rng), sample(&mut rng), sample(&mut rng));
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        assert_eq!(a.merge(&Histogram::default()), a);
+        assert_eq!(Histogram::default().merge(&a), a);
+    }
+}
+
+/// Profile merging is associative and commutative with the empty
+/// profile as identity, and any split of a trace's records profiles to
+/// the whole trace's profile.
+#[test]
+fn profile_merge_is_associative_and_split_invariant() {
+    for mut rng in cases("profile_merge_is_associative_and_split_invariant") {
+        let trace = gen_trace(&mut rng);
+        let whole = trace.profile();
+
+        // Split the records at two random points into three sub-traces.
+        let n = trace.records.len();
+        let mut cut_a = rng.below(n as u64 + 1) as usize;
+        let mut cut_b = rng.below(n as u64 + 1) as usize;
+        if cut_a > cut_b {
+            std::mem::swap(&mut cut_a, &mut cut_b);
+        }
+        let part = |range: std::ops::Range<usize>| Trace {
+            records: trace.records[range].to_vec(),
+        }
+        .profile();
+        let (a, b, c) = (part(0..cut_a), part(cut_a..cut_b), part(cut_b..n));
+
+        assert_eq!(a.merge(&b), b.merge(&a));
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        assert_eq!(a.merge(&b).merge(&c), whole, "splits merge to the whole");
+        assert_eq!(whole.merge(&Profile::default()), whole);
+        assert_eq!(Profile::default().merge(&whole), whole);
+    }
+}
+
+/// Collapsed-stack output parses back to exactly the nonzero self-time
+/// rows of the profile it came from.
+#[test]
+fn collapsed_stack_output_round_trips() {
+    for mut rng in cases("collapsed_stack_output_round_trips") {
+        let profile = gen_trace(&mut rng).profile();
+        let collapsed = profile.to_collapsed();
+        let parsed = parse_collapsed(&collapsed).expect("own output parses");
+        let expected: Vec<(String, u64)> = profile
+            .rows()
+            .filter(|(_, row)| row.self_us > 0)
+            .map(|(path, row)| (path.to_string(), row.self_us))
+            .collect();
+        assert_eq!(parsed, expected);
+        // And the rendering of the parse equals the original text.
+        let rerendered: String = parsed
+            .iter()
+            .map(|(path, count)| format!("{path} {count}\n"))
+            .collect();
+        assert_eq!(rerendered, collapsed);
     }
 }
 

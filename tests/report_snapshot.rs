@@ -58,4 +58,10 @@ fn small_campaign_snapshots_are_stable() {
         .find(|e| e.id == "resilience")
         .expect("resilience exhibit present");
     check_snapshot("resilience_small.txt", &resilience.rendered);
+
+    let trace_profile = exhibits
+        .iter()
+        .find(|e| e.id == "trace_profile")
+        .expect("trace_profile exhibit present");
+    check_snapshot("trace_profile_small.txt", &trace_profile.rendered);
 }

@@ -1,0 +1,149 @@
+//! Trace-level shard equivalence: the structured trace of a sharded
+//! campaign must be **byte-for-bit identical** to the sequential run's —
+//! the same guarantee `tests/parallel.rs` makes for campaign *data*,
+//! extended to telemetry. Mirrors the parallel/fault_matrix methodology:
+//! several seeds × shard counts 1/2/4/8, with and without the combined
+//! fault profile.
+
+use spfail::netsim::{FaultPlan, FaultProfile, FlakyWindow, SimDuration};
+use spfail::prober::{CampaignBuilder, RetryPolicy, TraceConfig};
+use spfail::trace::Trace;
+use spfail::world::{World, WorldConfig};
+
+const SEEDS: [u64; 3] = [11, 2024, 77];
+const SHARDS: [usize; 3] = [2, 4, 8];
+const SCALE: f64 = 0.002;
+
+fn build_world(seed: u64) -> World {
+    World::generate(WorldConfig {
+        scale: SCALE,
+        ..WorldConfig::small(seed)
+    })
+}
+
+/// The fault_matrix.rs combined regime: everything at once.
+fn combined_profile() -> FaultProfile {
+    FaultProfile {
+        dns: FaultPlan {
+            drop_chance: 0.05,
+            servfail_chance: 0.05,
+            truncate_chance: 0.1,
+            ..FaultPlan::NONE
+        },
+        smtp: FaultPlan {
+            tempfail_chance: 0.05,
+            reset_chance: 0.05,
+            ..FaultPlan::NONE
+        },
+        flaky_fraction: 0.2,
+        window: Some(FlakyWindow::new(SimDuration::from_mins(360), 0.6)),
+    }
+}
+
+fn run_trace(world: &World, builder: CampaignBuilder) -> Trace {
+    builder
+        .trace(TraceConfig::enabled())
+        .run(world)
+        .trace
+        .expect("tracing was requested")
+}
+
+/// Every record in a campaign trace satisfies the structural invariants.
+fn assert_valid(trace: &Trace) {
+    assert!(!trace.is_empty(), "a campaign trace records probes");
+    for record in &trace.records {
+        record
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid record {record:?}: {e}"));
+    }
+}
+
+/// Compare via the exported byte forms, not just structural equality —
+/// the exporters are part of the determinism contract.
+fn assert_byte_identical(reference: &Trace, candidate: &Trace, label: &str) {
+    assert_eq!(
+        reference, candidate,
+        "{label}: trace structure diverged from sequential"
+    );
+    assert_eq!(
+        reference.to_jsonl(),
+        candidate.to_jsonl(),
+        "{label}: JSONL export diverged"
+    );
+    assert_eq!(
+        reference.to_collapsed(),
+        candidate.to_collapsed(),
+        "{label}: collapsed-stack export diverged"
+    );
+}
+
+#[test]
+fn sharded_traces_match_sequential_without_faults() {
+    for seed in SEEDS {
+        let world = build_world(seed);
+        let reference = run_trace(&world, CampaignBuilder::new());
+        assert_valid(&reference);
+        for shards in SHARDS {
+            let world = build_world(seed);
+            let sharded = run_trace(&world, CampaignBuilder::new().shards(shards));
+            assert_byte_identical(
+                &reference,
+                &sharded,
+                &format!("seed {seed}, {shards} shards, no faults"),
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_traces_match_sequential_under_combined_faults() {
+    for seed in SEEDS {
+        let world = build_world(seed);
+        let builder = CampaignBuilder::new()
+            .faults(combined_profile())
+            .retry(RetryPolicy::standard());
+        let reference = run_trace(&world, builder);
+        assert_valid(&reference);
+        for shards in SHARDS {
+            let world = build_world(seed);
+            let sharded = run_trace(&world, builder.shards(shards));
+            assert_byte_identical(
+                &reference,
+                &sharded,
+                &format!("seed {seed}, {shards} shards, combined faults"),
+            );
+        }
+    }
+}
+
+/// The ISSUE's acceptance configuration, verbatim: 8 shards, combined
+/// faults, the default retry policy.
+#[test]
+fn acceptance_configuration_is_byte_identical() {
+    let seed = 2024;
+    let world = build_world(seed);
+    let builder = CampaignBuilder::new()
+        .faults(combined_profile())
+        .retry(RetryPolicy::default());
+    let sequential = run_trace(&world, builder);
+    assert_valid(&sequential);
+
+    let world = build_world(seed);
+    let sharded = run_trace(&world, builder.shards(8));
+    assert_byte_identical(&sequential, &sharded, "acceptance: shards(8)+combined");
+}
+
+/// Shard count 1 goes through the sequential engine by construction, so
+/// also check a trace-enabled run still produces the same campaign data
+/// as an untraced one: observation must not perturb the measurement.
+#[test]
+fn tracing_does_not_perturb_campaign_data() {
+    let world = build_world(11);
+    let untraced = CampaignBuilder::new().run(&world);
+    let world = build_world(11);
+    let traced = CampaignBuilder::new()
+        .trace(TraceConfig::enabled())
+        .run(&world);
+    assert!(untraced.trace.is_none());
+    assert_eq!(untraced.data, traced.data);
+}
