@@ -134,6 +134,54 @@ impl Metrics {
         self.inner.bytes_sent.load(Ordering::Relaxed)
     }
 
+    /// Add a snapshot's counts onto these counters, field by field.
+    ///
+    /// This is the restore half of [`Metrics::snapshot`]: applying a
+    /// snapshot to fresh counters reproduces the counters it was taken
+    /// from, which is what a resumed campaign needs to continue counting
+    /// where the checkpointed one stopped.
+    pub fn add_snapshot(&self, s: &MetricsSnapshot) {
+        let MetricsSnapshot {
+            connections_attempted,
+            connections_refused,
+            connections_aborted,
+            datagrams_sent,
+            datagrams_dropped,
+            bytes_sent,
+            dns_queries,
+            dns_cache_hits,
+            dns_truncated,
+            dns_timeouts,
+            dns_servfails,
+            smtp_tempfails,
+            connection_resets,
+            window_closed_probes,
+            probe_retries,
+            probes_recovered,
+        } = *s;
+        let adds = [
+            (&self.inner.connections_attempted, connections_attempted),
+            (&self.inner.connections_refused, connections_refused),
+            (&self.inner.connections_aborted, connections_aborted),
+            (&self.inner.datagrams_sent, datagrams_sent),
+            (&self.inner.datagrams_dropped, datagrams_dropped),
+            (&self.inner.bytes_sent, bytes_sent),
+            (&self.inner.dns_queries, dns_queries),
+            (&self.inner.dns_cache_hits, dns_cache_hits),
+            (&self.inner.dns_truncated, dns_truncated),
+            (&self.inner.dns_timeouts, dns_timeouts),
+            (&self.inner.dns_servfails, dns_servfails),
+            (&self.inner.smtp_tempfails, smtp_tempfails),
+            (&self.inner.connection_resets, connection_resets),
+            (&self.inner.window_closed_probes, window_closed_probes),
+            (&self.inner.probe_retries, probe_retries),
+            (&self.inner.probes_recovered, probes_recovered),
+        ];
+        for (counter, n) in adds {
+            counter.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
     /// A point-in-time copy of every counter, as a plain value that can
     /// be merged with snapshots from other shards.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -503,6 +551,19 @@ mod tests {
         for (i, &(got, lhs, rhs)) in sums.iter().enumerate() {
             assert_eq!(got, lhs + rhs, "field {i} not summed by merge");
         }
+    }
+
+    /// `add_snapshot` onto fresh counters reproduces the source, and it
+    /// composes: applying two snapshots equals applying their merge.
+    #[test]
+    fn add_snapshot_restores_counters() {
+        let a = distinct_snapshot(100);
+        let fresh = Metrics::new();
+        fresh.add_snapshot(&a);
+        assert_eq!(fresh.snapshot(), a);
+        let b = distinct_snapshot(1000);
+        fresh.add_snapshot(&b);
+        assert_eq!(fresh.snapshot(), a.merge(&b));
     }
 
     #[test]

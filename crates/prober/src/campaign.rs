@@ -12,15 +12,14 @@
 
 use std::collections::HashMap;
 
-use spfail_dns::QueryLog;
 use spfail_netsim::{FaultProfile, MetricsSnapshot, SimDuration};
-use spfail_trace::{Phase, Trace, TraceConfig, Tracer};
+use spfail_trace::{Phase, Trace, TraceConfig};
 use spfail_world::{DomainId, HostId, Timeline, World};
 
 use crate::classify::Classification;
-use crate::ethics::{EthicsAudit, MAX_CONCURRENT};
+use crate::ethics::EthicsAudit;
 use crate::probe::{
-    ProbeContext, ProbeOptions, ProbeOutcome, ProbeTest, ProbeVerdict, Prober, RetryPolicy,
+    ProbeOptions, ProbeOutcome, ProbeTest, ProbeVerdict, Prober, RetryPolicy,
 };
 
 /// Which shard a host belongs to when the campaign is split `shards` ways.
@@ -330,10 +329,11 @@ pub struct CampaignRun {
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct CampaignBuilder {
-    shards: usize,
-    options: ProbeOptions,
-    timed: bool,
-    trace: TraceConfig,
+    pub(crate) shards: usize,
+    pub(crate) options: ProbeOptions,
+    pub(crate) timed: bool,
+    pub(crate) trace: TraceConfig,
+    pub(crate) incremental: bool,
 }
 
 impl CampaignBuilder {
@@ -377,373 +377,45 @@ impl CampaignBuilder {
         self
     }
 
-    /// Run the configured campaign against `world`.
+    /// Re-probe only hosts whose status can have changed since their
+    /// last conclusive measurement (see
+    /// [`Session`](crate::Session) for the horizon model). The
+    /// measurement fields of [`CampaignData`] are identical to a full
+    /// rescan; the ethics audit, network counters, and trace reflect the
+    /// probes actually issued — that reduction is the point.
+    pub fn incremental(mut self) -> CampaignBuilder {
+        self.incremental = true;
+        self
+    }
+
+    /// Open a staged [`Session`](crate::Session) for this configuration:
+    /// the caller drives `initial_sweep` → `advance_round`* → `finish`
+    /// explicitly and may checkpoint between stages.
+    pub fn session(self, world: &World) -> crate::Session<'_> {
+        crate::Session::new(self, world)
+    }
+
+    /// Run the configured campaign against `world` — the staged
+    /// [`Session`](crate::Session) driven end to end in one call.
     pub fn run(self, world: &World) -> CampaignRun {
-        let (data, timing, trace) = if self.shards > 1 {
-            Campaign::sharded_engine(world, self.shards, &self.options, self.trace)
-        } else {
-            Campaign::sequential_engine(world, &self.options, self.trace)
-        };
-        CampaignRun {
-            data,
-            timing: self.timed.then_some(timing),
-            trace,
-        }
+        let mut session = self.session(world);
+        session.initial_sweep();
+        while session.advance_round().is_some() {}
+        session.finish()
     }
 }
 
-/// The campaign engines behind [`CampaignBuilder::run`].
-struct Campaign;
+/// The shared sweep primitives behind the staged
+/// [`Session`](crate::Session) engine (and therefore behind
+/// [`CampaignBuilder::run`]). Each helper is one self-contained stage
+/// step; the session composes them into the sequential and sharded
+/// engines.
+pub(crate) struct Campaign;
 
 impl Campaign {
-    /// The sequential reference engine, probing every host through the
-    /// world's shared surfaces on the one clock.
-    ///
-    /// The sharded engine must produce identical [`CampaignData`] for
-    /// every shard count, which `tests/parallel.rs` asserts field by
-    /// field.
-    fn sequential_engine(
-        world: &World,
-        opts: &ProbeOptions,
-        trace: TraceConfig,
-    ) -> (CampaignData, CampaignTiming, Option<Trace>) {
-        let tracer = Tracer::new(trace);
-        let mut prober = Prober::with_options(
-            world,
-            "s1",
-            ProbeContext::shared(world).with_tracer(tracer.clone()),
-            MAX_CONCURRENT,
-            *opts,
-        );
-        let mut counts: HashMap<HostId, u32> = HashMap::new();
-        let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
-
-        let (initial, initial_busy) = Self::initial_sweep(&mut prober, &mut counts, &all_hosts);
-        let (tracked, vulnerable_domains, preferred) = Self::derive_tracking(world, &initial);
-
-        // Longitudinal rounds.
-        let mut rounds = Vec::new();
-        let mut rounds_busy = SimDuration::ZERO;
-        for day in Timeline::all_round_days() {
-            let (statuses, busy) =
-                Self::round_sweep(&mut prober, day, &tracked, &preferred, &mut counts);
-            rounds.push((day, statuses));
-            rounds_busy = rounds_busy + busy;
-        }
-
-        // Final snapshot with re-resolved addresses (§5.1, §7.2): fresh
-        // resolution reaches the provider's current servers, so the
-        // campaign's accumulated blacklisting does not apply. The
-        // snapshot is its own measurement sweep with its own prober:
-        // contact-spacing decisions then depend only on the snapshot's
-        // own probe sequence, never on how close the last longitudinal
-        // round happened to finish (the snapshot day coincides with the
-        // final round day, so carried-over contact history would make
-        // the audit depend on host interleaving).
-        let ethics = prober.ethics().audit().clone();
-        let network = prober.metrics().snapshot();
-        let mut prober = Prober::with_options(
-            world,
-            "s1",
-            ProbeContext::shared(world).with_tracer(tracer.clone()),
-            MAX_CONCURRENT,
-            *opts,
-        );
-        prober
-            .context()
-            .clock
-            .advance_to(Timeline::day_to_time(Timeline::END));
-        prober.context().query_log.clear();
-        prober.ethics_mut().begin_sweep();
-        let (targets, domain_hosts) = Self::snapshot_targets(world, &vulnerable_domains, &tracked);
-        let (host_statuses, snapshot_busy) = Self::snapshot_sweep(&mut prober, &targets, &preferred);
-        let snapshot = Self::aggregate_snapshot(&domain_hosts, &host_statuses);
-
-        let data = CampaignData {
-            initial,
-            tracked,
-            rounds,
-            snapshot,
-            vulnerable_domains,
-            ethics: ethics.merge(prober.ethics().audit()),
-            network: network.merge(&prober.metrics().snapshot()),
-        };
-        let timing = CampaignTiming {
-            initial: initial_busy,
-            rounds: rounds_busy,
-            snapshot: snapshot_busy,
-        };
-        // `finish` sorts into identity order — the same normalisation the
-        // sharded merge applies, so the two engines' exports are
-        // byte-identical.
-        (data, timing, trace.enabled.then(|| tracer.finish()))
-    }
-
-    /// The sharded engine: one worker per shard, merged in canonical
-    /// shard order.
-    ///
-    /// Hosts are partitioned by [`shard_of`]; each worker probes its
-    /// partition through an isolated [`ProbeContext`] (own DNS
-    /// directory, query log, and clock) with its own slice of the
-    /// [`MAX_CONCURRENT`] connection budget. Because every probe's
-    /// randomness is derived from the probe's own identity (see
-    /// [`Prober::probe`]) and blacklisting counters travel with the
-    /// host, each worker measures exactly what the sequential engine
-    /// would have measured for the same hosts. Shard results are merged
-    /// in canonical shard order, so the output is identical for every
-    /// shard count — `CampaignBuilder::new().shards(n)` matches the
-    /// default builder for every `n`. Shards probe concurrently against
-    /// independent clocks, so a timed phase costs its *slowest* shard,
-    /// not the sum — the makespan a real parallel campaign would
-    /// observe.
-    fn sharded_engine(
-        world: &World,
-        shards: usize,
-        opts: &ProbeOptions,
-        trace: TraceConfig,
-    ) -> (CampaignData, CampaignTiming, Option<Trace>) {
-        let shards = shards.max(1);
-        let mut trace_parts: Vec<Trace> = Vec::new();
-        let budget = (MAX_CONCURRENT / shards).max(1);
-        let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
-        let partitions = partition_hosts(&all_hosts, shards);
-
-        // Phase 1: initial sweep, one worker per shard. The scope join is
-        // the barrier: tracking derivation needs every shard's results.
-        type SweepOut = (
-            InitialMeasurement,
-            HashMap<HostId, u32>,
-            EthicsAudit,
-            MetricsSnapshot,
-            SimDuration,
-            Trace,
-        );
-        let sweep_outputs: Vec<SweepOut> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = partitions
-                .iter()
-                .map(|part| {
-                    s.spawn(move |_| {
-                        let tracer = Tracer::new(trace);
-                        let mut prober = Prober::with_options(
-                            world,
-                            "s1",
-                            ProbeContext::isolated(world).with_tracer(tracer.clone()),
-                            budget,
-                            *opts,
-                        );
-                        let mut counts = HashMap::new();
-                        let (initial, busy) = Self::initial_sweep(&mut prober, &mut counts, part);
-                        (
-                            initial,
-                            counts,
-                            prober.ethics().audit().clone(),
-                            prober.metrics().snapshot(),
-                            busy,
-                            tracer.finish(),
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        })
-        .expect("scope");
-
-        let mut initial = InitialMeasurement::default();
-        let mut counts: HashMap<HostId, u32> = HashMap::new();
-        let mut ethics = EthicsAudit::default();
-        let mut network = MetricsSnapshot::default();
-        let mut initial_busy = SimDuration::ZERO;
-        for (part_initial, part_counts, part_audit, part_network, busy, part_trace) in
-            sweep_outputs
-        {
-            initial.results.extend(part_initial.results);
-            counts.extend(part_counts);
-            ethics = ethics.merge(&part_audit);
-            network = network.merge(&part_network);
-            initial_busy = initial_busy.max(busy);
-            trace_parts.push(part_trace);
-        }
-        let (tracked, vulnerable_domains, preferred) = Self::derive_tracking(world, &initial);
-
-        // Phase 2: longitudinal rounds. Tracked hosts are re-partitioned
-        // with the same shard key, so a host's blacklisting counter and
-        // contact history stay on one worker for the whole phase.
-        let tracked_parts = partition_hosts(&tracked, shards);
-        let round_days = Timeline::all_round_days();
-        type RoundOut = (
-            Vec<(HashMap<HostId, RoundStatus>, SimDuration)>,
-            EthicsAudit,
-            MetricsSnapshot,
-            Trace,
-        );
-        let round_outputs: Vec<RoundOut> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = tracked_parts
-                .iter()
-                .map(|part| {
-                    let mut part_counts: HashMap<HostId, u32> = part
-                        .iter()
-                        .map(|h| (*h, counts.get(h).copied().unwrap_or(0)))
-                        .collect();
-                    let round_days = &round_days;
-                    let preferred = &preferred;
-                    s.spawn(move |_| {
-                        let tracer = Tracer::new(trace);
-                        let mut prober = Prober::with_options(
-                            world,
-                            "s1",
-                            ProbeContext::isolated(world).with_tracer(tracer.clone()),
-                            budget,
-                            *opts,
-                        );
-                        let statuses: Vec<(HashMap<HostId, RoundStatus>, SimDuration)> =
-                            round_days
-                                .iter()
-                                .map(|&day| {
-                                    Self::round_sweep(
-                                        &mut prober,
-                                        day,
-                                        part,
-                                        preferred,
-                                        &mut part_counts,
-                                    )
-                                })
-                                .collect();
-                        (
-                            statuses,
-                            prober.ethics().audit().clone(),
-                            prober.metrics().snapshot(),
-                            tracer.finish(),
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        })
-        .expect("scope");
-
-        // Each round is a synchronisation point (every shard starts it at
-        // the same simulated day), so a round costs its slowest shard and
-        // the phase costs the sum over rounds.
-        let mut rounds: Vec<(u16, HashMap<HostId, RoundStatus>)> = round_days
-            .iter()
-            .map(|&day| (day, HashMap::new()))
-            .collect();
-        let mut round_busies = vec![SimDuration::ZERO; round_days.len()];
-        for (shard_statuses, part_audit, part_network, part_trace) in round_outputs {
-            for (i, (slot, (statuses, busy))) in
-                rounds.iter_mut().zip(shard_statuses).enumerate()
-            {
-                slot.1.extend(statuses);
-                round_busies[i] = round_busies[i].max(busy);
-            }
-            ethics = ethics.merge(&part_audit);
-            network = network.merge(&part_network);
-            trace_parts.push(part_trace);
-        }
-        let rounds_busy = round_busies
-            .into_iter()
-            .fold(SimDuration::ZERO, |acc, b| acc + b);
-
-        // Phase 3: final snapshot over the re-resolved tracked hosts.
-        let (targets, domain_hosts) = Self::snapshot_targets(world, &vulnerable_domains, &tracked);
-        let target_parts = partition_hosts(&targets, shards);
-        type SnapOut = (
-            HashMap<HostId, RoundStatus>,
-            EthicsAudit,
-            MetricsSnapshot,
-            QueryLog,
-            SimDuration,
-            Trace,
-        );
-        let snapshot_outputs: Vec<SnapOut> = crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = target_parts
-                .iter()
-                .map(|part| {
-                    let preferred = &preferred;
-                    s.spawn(move |_| {
-                        let tracer = Tracer::new(trace);
-                        let mut prober = Prober::with_options(
-                            world,
-                            "s1",
-                            ProbeContext::isolated(world).with_tracer(tracer.clone()),
-                            budget,
-                            *opts,
-                        );
-                        prober
-                            .context()
-                            .clock
-                            .advance_to(Timeline::day_to_time(Timeline::END));
-                        prober.ethics_mut().begin_sweep();
-                        let (statuses, busy) = Self::snapshot_sweep(&mut prober, part, preferred);
-                        let log = prober.context().query_log.clone();
-                        (
-                            statuses,
-                            prober.ethics().audit().clone(),
-                            prober.metrics().snapshot(),
-                            log,
-                            busy,
-                            tracer.finish(),
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
-                .collect()
-        })
-        .expect("scope");
-
-        let mut host_statuses: HashMap<HostId, RoundStatus> = HashMap::new();
-        let mut snapshot_logs = Vec::new();
-        let mut snapshot_busy = SimDuration::ZERO;
-        for (statuses, part_audit, part_network, log, busy, part_trace) in snapshot_outputs {
-            host_statuses.extend(statuses);
-            ethics = ethics.merge(&part_audit);
-            network = network.merge(&part_network);
-            snapshot_logs.push(log);
-            snapshot_busy = snapshot_busy.max(busy);
-            trace_parts.push(part_trace);
-        }
-        let snapshot = Self::aggregate_snapshot(&domain_hosts, &host_statuses);
-
-        // Leave the world's shared surfaces where the sequential engine
-        // leaves them: clock at the snapshot day, query log holding the
-        // snapshot phase's queries in simulated-time order.
-        world.clock.advance_to(Timeline::day_to_time(Timeline::END));
-        world.query_log.clear();
-        world
-            .query_log
-            .extend(QueryLog::merged(snapshot_logs.iter()).snapshot());
-
-        let data = CampaignData {
-            initial,
-            tracked,
-            rounds,
-            snapshot,
-            vulnerable_domains,
-            ethics,
-            network,
-        };
-        let timing = CampaignTiming {
-            initial: initial_busy,
-            rounds: rounds_busy,
-            snapshot: snapshot_busy,
-        };
-        // Identity-order merge: which shard recorded a probe leaves no
-        // mark, so this equals the sequential engine's trace exactly.
-        (data, timing, trace.enabled.then(|| Trace::merge(trace_parts)))
-    }
-
     /// The initial sweep over `hosts` (the whole world for the
     /// sequential engine, one partition per shard worker).
-    fn initial_sweep(
+    pub(crate) fn initial_sweep(
         prober: &mut Prober<'_>,
         counts: &mut HashMap<HostId, u32>,
         hosts: &[HostId],
@@ -788,7 +460,7 @@ impl Campaign {
     /// test variant per tracked host. Pure post-processing — it reads
     /// only the merged sweep results, never the probing surfaces, so
     /// both engines share it verbatim.
-    fn derive_tracking(
+    pub(crate) fn derive_tracking(
         world: &World,
         initial: &InitialMeasurement,
     ) -> (Vec<HostId>, Vec<DomainId>, HashMap<HostId, ProbeTest>) {
@@ -829,7 +501,7 @@ impl Campaign {
     }
 
     /// One longitudinal round over `hosts` as of `day`.
-    fn round_sweep(
+    pub(crate) fn round_sweep(
         prober: &mut Prober<'_>,
         day: u16,
         hosts: &[HostId],
@@ -857,7 +529,7 @@ impl Campaign {
     /// domain, its freshly re-resolved hosts that are tracked; plus the
     /// deduplicated, sorted union (each host is probed exactly once even
     /// when domains share servers).
-    fn snapshot_targets(
+    pub(crate) fn snapshot_targets(
         world: &World,
         vulnerable_domains: &[DomainId],
         tracked: &[HostId],
@@ -880,7 +552,7 @@ impl Campaign {
 
     /// Probe each snapshot target once (with one retry when the first
     /// attempt was inconclusive) and record its February status.
-    fn snapshot_sweep(
+    pub(crate) fn snapshot_sweep(
         prober: &mut Prober<'_>,
         hosts: &[HostId],
         preferred: &HashMap<HostId, ProbeTest>,
@@ -904,7 +576,7 @@ impl Campaign {
     /// vulnerable host condemns the domain; otherwise any inconclusive
     /// host leaves it unknown; only a clean sweep of patched hosts (of
     /// at least one host) counts as patched.
-    fn aggregate_snapshot(
+    pub(crate) fn aggregate_snapshot(
         domain_hosts: &[(DomainId, Vec<HostId>)],
         statuses: &HashMap<HostId, RoundStatus>,
     ) -> HashMap<DomainId, SnapshotStatus> {
@@ -935,7 +607,7 @@ impl Campaign {
     /// only conclusive measurements claim `Vulnerable`/`Patched`; a
     /// host that was unreachable (or measured nothing) stays
     /// `Inconclusive` — it is never downgraded to patched.
-    fn round_status(outcome: &ProbeOutcome) -> RoundStatus {
+    pub(crate) fn round_status(outcome: &ProbeOutcome) -> RoundStatus {
         match outcome.verdict() {
             ProbeVerdict::Vulnerable => RoundStatus::Vulnerable,
             ProbeVerdict::NotVulnerable => RoundStatus::Patched,

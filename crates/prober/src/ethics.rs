@@ -151,6 +151,29 @@ impl EthicsGuard {
     pub fn audit(&self) -> &EthicsAudit {
         &self.audit
     }
+
+    /// Export the guard's durable state for a checkpoint: the audit plus
+    /// the per-address contact history, in address order.
+    ///
+    /// At a round boundary these are the *only* live facts — every
+    /// connection slot has been released and the sweep's dedup set is
+    /// about to be cleared by the next `begin_sweep`, so `in_flight` and
+    /// `tested_this_sweep` need no representation.
+    pub fn export(&self) -> (EthicsAudit, Vec<(IpAddr, SimTime)>) {
+        let mut contacts: Vec<(IpAddr, SimTime)> =
+            self.last_contact.iter().map(|(&ip, &at)| (ip, at)).collect();
+        contacts.sort();
+        (self.audit.clone(), contacts)
+    }
+
+    /// Restore the durable state written by [`EthicsGuard::export`],
+    /// replacing this guard's audit and contact history.
+    pub fn restore(&mut self, audit: EthicsAudit, contacts: Vec<(IpAddr, SimTime)>) {
+        self.audit = audit;
+        self.last_contact = contacts.into_iter().collect();
+        self.tested_this_sweep.clear();
+        self.in_flight = 0;
+    }
 }
 
 #[cfg(test)]
@@ -215,6 +238,36 @@ mod tests {
         guard.greylist_wait(ip(9));
         assert_eq!(clock.now().as_secs(), 480);
         assert_eq!(guard.audit().greylist_waits, 1);
+    }
+
+    /// Export → restore onto a fresh guard reproduces both the audit and
+    /// the spacing behaviour: a recontact inside the 90-second window
+    /// still waits after the round-trip.
+    #[test]
+    fn export_restore_preserves_spacing_and_audit() {
+        let clock = SimClock::new();
+        let mut guard = EthicsGuard::new(clock.clone());
+        guard.begin_sweep();
+        guard.admit(ip(1));
+        guard.release(ip(1));
+        guard.admit(ip(2));
+        guard.release(ip(2));
+        guard.admit(ip(1)); // spaced
+        guard.release(ip(1));
+        let (audit, contacts) = guard.export();
+        assert_eq!(contacts.len(), 2);
+        assert!(contacts.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+
+        let mut restored = EthicsGuard::new(clock.clone());
+        restored.restore(audit.clone(), contacts);
+        assert_eq!(restored.audit(), &audit);
+        restored.begin_sweep();
+        // ip(1)'s last contact was refreshed when its spaced connection
+        // released, so recontacting it immediately must wait again.
+        let before = clock.now();
+        restored.admit(ip(1));
+        assert_eq!(restored.audit().spaced, audit.spaced + 1);
+        assert!(clock.now().since(before) > SimDuration::ZERO);
     }
 
     #[test]

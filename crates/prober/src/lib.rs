@@ -21,20 +21,29 @@
 //! * [`campaign`] — the full measurement programme: the initial sweep,
 //!   the every-2-days longitudinal rounds across both windows, the final
 //!   re-resolving snapshot, and the §7.6 inference rules.
+//! * [`session`] — the staged longitudinal engine behind
+//!   [`CampaignBuilder::run`]: explicit `initial_sweep` / `advance_round`
+//!   / `finish` stages, checkpoint/resume at round boundaries, and the
+//!   incremental re-probing mode.
+//! * [`checkpoint`] — the serialisable [`checkpoint::CampaignState`]
+//!   and its text form.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod checkpoint;
 pub mod classify;
 pub mod ethics;
 pub mod probe;
+pub mod session;
 
 pub use campaign::{
     partition_hosts, shard_of, CampaignBuilder, CampaignData, CampaignRun,
     CampaignTiming, HostClass, HostInitialResult, InitialMeasurement, RoundStatus,
     SnapshotStatus,
 };
+pub use checkpoint::{CampaignState, WorkerState};
 pub use classify::{
     classify, quirk_by_name, quirks_for_behavior, Classification, KnownQuirk, KNOWN_QUIRKS,
 };
@@ -43,4 +52,5 @@ pub use probe::{
     ProbeContext, ProbeOptions, ProbeOutcome, ProbeTest, ProbeVerdict, Prober, RetryPolicy,
     CONNECT_TIMEOUT,
 };
+pub use session::{Session, SessionStats};
 pub use spfail_trace::{Trace, TraceConfig, Tracer};

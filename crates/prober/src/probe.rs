@@ -416,6 +416,58 @@ impl<'w> Prober<'w> {
         &mut self.ethics
     }
 
+    /// The probe-repetition counters in canonical (sorted) order, for a
+    /// checkpoint. Together with the ethics guard's export, the metrics
+    /// snapshot, and the context clock, these counters are the whole of
+    /// a prober's durable state: every other field is a pure function of
+    /// the world seed and the suite label.
+    pub(crate) fn occurrences_export(&self) -> Vec<((u32, u16, u8, u32), u64)> {
+        let mut entries: Vec<_> = self.occurrences.iter().map(|(&k, &v)| (k, v)).collect();
+        entries.sort_unstable();
+        entries
+    }
+
+    /// Restore the probe-repetition counters written by
+    /// [`Prober::occurrences_export`].
+    pub(crate) fn occurrences_restore(
+        &mut self,
+        entries: impl IntoIterator<Item = ((u32, u16, u8, u32), u64)>,
+    ) {
+        self.occurrences = entries.into_iter().collect();
+    }
+
+    /// Whether the *next* probe with this exact identity would hit the
+    /// host's flaky roll, without issuing it.
+    ///
+    /// Probe randomness is derived from the probe's identity (see
+    /// [`Prober::probe`]), not drawn from a consuming stream, so the
+    /// incremental round engine can replay the first draws of the
+    /// attempt it is about to skip: the rng fork, the id draw, and the
+    /// flaky roll below mirror the opening of `probe_attempt` exactly.
+    /// A `true` answer means the attempt would fail transiently (and
+    /// possibly retry), so the host must be probed for real; `false`
+    /// means the attempt proceeds to the host's deterministic behaviour.
+    pub(crate) fn would_flake(
+        &self,
+        host: HostId,
+        day: u16,
+        test: ProbeTest,
+        extra_connections: u32,
+    ) -> bool {
+        let test_tag = test.tag();
+        let occurrence = self
+            .occurrences
+            .get(&(host.0, day, test_tag, extra_connections))
+            .copied()
+            .unwrap_or(0);
+        let mut rng = self.base_rng.fork(&format!(
+            "probe-h{}-d{day}-t{test_tag}-x{extra_connections}-n{occurrence}",
+            host.0
+        ));
+        let _ = Self::probe_id(&mut rng, &self.suite);
+        rng.chance(self.world.host(host).profile.flaky)
+    }
+
     /// Generate the next unique probe id: a 4–5 character alphanumeric
     /// label that never collides with the fingerprint's fixed labels.
     /// The embedded base-36 counter guarantees uniqueness for the first

@@ -1,0 +1,874 @@
+//! The staged longitudinal engine: explicit campaign stages, checkpoint
+//! and resume at round boundaries, and incremental rounds.
+//!
+//! [`CampaignBuilder::run`] drives a [`Session`] end to end; callers
+//! that need finer control open one with
+//! [`CampaignBuilder::session`] and drive the stages themselves:
+//!
+//! 1. [`Session::initial_sweep`] — probe every host once (day 0);
+//! 2. [`Session::advance_round`] — one longitudinal round per call;
+//! 3. [`Session::finish`] — the re-resolving February snapshot and the
+//!    assembled [`CampaignRun`].
+//!
+//! Between stages the session can be serialised with
+//! [`Session::checkpoint`] and later continued with
+//! [`Session::restore`]: killing a campaign at *any* round boundary and
+//! resuming it produces byte-for-byte the [`CampaignData`], trace
+//! export, and report exhibits of an uninterrupted run, for any shard
+//! count and fault profile (`tests/session_checkpoint.rs`).
+//!
+//! That works because a campaign's durable state at a round boundary is
+//! small and explicit. Every probe's randomness is derived from the
+//! probe's own identity (see [`Prober::probe`]), never drawn from a
+//! consuming stream, so no rng positions need saving: the only live
+//! facts are the sweep results so far, each worker's clock, ethics
+//! audit + contact history, network counters, probe-repetition
+//! counters, and blacklist counters — plus the trace records already
+//! emitted. [`CampaignState`](crate::checkpoint::CampaignState) is
+//! exactly that inventory.
+//!
+//! **Incremental rounds** ([`CampaignBuilder::incremental`]) re-probe
+//! only hosts whose status can have changed since their last conclusive
+//! measurement. A tracked host may be *skipped* in a round when no
+//! injected fault profile is active (faults perturb every probe), and
+//! either:
+//!
+//! * the host is past its blacklist threshold and no retry policy is
+//!   active: every connection is rejected at the banner, so the round
+//!   is `Inconclusive` by construction; or
+//! * the host never blacklists, no patch event lies in the window since
+//!   its last conclusive measurement
+//!   ([`spfail_world::HostProfile::status_event_in`], the patch-event
+//!   horizon from the world timeline), and the probe the round would
+//!   issue misses the host's flaky roll — replayed exactly from the
+//!   probe's identity rng ([`Prober`]'s `would_flake`) without issuing
+//!   the probe, so its last conclusive status carries.
+//!
+//! A skipped host records its carried status for the round and its
+//! blacklist counter advances by the one attempt the full rescan would
+//! have spent, so every *issued* probe still rolls exactly the dice it
+//! would in a full rescan. The measurement fields of [`CampaignData`]
+//! (`initial`, `tracked`, `rounds`, `snapshot`, `vulnerable_domains`)
+//! are therefore identical to a full rescan; the ethics audit, network
+//! counters, and trace shrink with the probe volume — that reduction
+//! (≥5× at paper scale) is the point. [`Session::full_rescan`] forces
+//! the next round to probe everything.
+
+use std::collections::HashMap;
+use std::io;
+use std::path::Path;
+
+use spfail_dns::QueryLog;
+use spfail_netsim::{MetricsSnapshot, SimDuration, SimTime};
+use spfail_trace::{Trace, Tracer};
+use spfail_world::{DomainId, HostId, Timeline, World};
+
+use crate::campaign::{
+    partition_hosts, Campaign, CampaignBuilder, CampaignData, CampaignRun, CampaignTiming,
+    InitialMeasurement, RoundStatus,
+};
+use crate::checkpoint::{CampaignState, WorkerState};
+use crate::ethics::{EthicsAudit, MAX_CONCURRENT};
+use crate::probe::{ProbeContext, ProbeTest, Prober};
+
+/// Probe-volume counters for a session's longitudinal rounds — the
+/// incremental engine's savings, measured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Probes actually issued during rounds (retried sequences count
+    /// once, like the paper's per-host probe budget).
+    pub round_probes_issued: u64,
+    /// Round probes the incremental horizon model answered from carried
+    /// state instead of the network.
+    pub round_probes_skipped: u64,
+}
+
+/// One live probing worker: the sequential engine has exactly one (kept
+/// across the initial sweep and every round, like the original
+/// monolithic engine), the sharded engine one per shard for the round
+/// phase.
+struct Worker<'w> {
+    prober: Prober<'w>,
+    tracer: Tracer,
+    counts: HashMap<HostId, u32>,
+    hosts: Vec<HostId>,
+}
+
+/// A staged, checkpointable campaign run. See the module docs.
+pub struct Session<'w> {
+    world: &'w World,
+    builder: CampaignBuilder,
+    /// Rounds completed so far (index into `Timeline::all_round_days()`).
+    rounds_done: usize,
+    full_rescan_next: bool,
+    initial: Option<InitialMeasurement>,
+    tracked: Vec<HostId>,
+    vulnerable_domains: Vec<DomainId>,
+    preferred: HashMap<HostId, ProbeTest>,
+    rounds: Vec<(u16, HashMap<HostId, RoundStatus>)>,
+    /// Audit/counters merged from workers already retired (the sharded
+    /// initial phase); live workers keep theirs until `finish`.
+    ethics_total: EthicsAudit,
+    network_total: MetricsSnapshot,
+    initial_busy: SimDuration,
+    rounds_busy: SimDuration,
+    /// Trace records drained from retired workers and checkpoints; the
+    /// final trace is the identity-ordered merge of these with the live
+    /// tracers, so draining points leave no mark.
+    trace_parts: Vec<Trace>,
+    /// Per-host last conclusive measurement `(day, status)` — the
+    /// incremental engine's carried state. Derivable from `initial` +
+    /// `rounds`, so it is never checkpointed.
+    last_conclusive: HashMap<HostId, (u16, RoundStatus)>,
+    stats: SessionStats,
+    workers: Vec<Worker<'w>>,
+    /// Sharded only: per-host attempt counts merged from the initial
+    /// phase, consumed when the round workers are created.
+    merged_counts: HashMap<HostId, u32>,
+}
+
+impl<'w> Session<'w> {
+    /// A fresh session for `builder` against `world`.
+    /// [`CampaignBuilder::session`] is the public spelling.
+    pub(crate) fn new(builder: CampaignBuilder, world: &'w World) -> Session<'w> {
+        Session {
+            world,
+            builder,
+            rounds_done: 0,
+            full_rescan_next: false,
+            initial: None,
+            tracked: Vec::new(),
+            vulnerable_domains: Vec::new(),
+            preferred: HashMap::new(),
+            rounds: Vec::new(),
+            ethics_total: EthicsAudit::default(),
+            network_total: MetricsSnapshot::default(),
+            initial_busy: SimDuration::ZERO,
+            rounds_busy: SimDuration::ZERO,
+            trace_parts: Vec::new(),
+            last_conclusive: HashMap::new(),
+            stats: SessionStats::default(),
+            workers: Vec::new(),
+            merged_counts: HashMap::new(),
+        }
+    }
+
+    fn shards(&self) -> usize {
+        self.builder.shards.max(1)
+    }
+
+    fn sharded(&self) -> bool {
+        self.builder.shards > 1
+    }
+
+    /// The hosts tracked longitudinally (set by the initial sweep).
+    pub fn tracked(&self) -> &[HostId] {
+        &self.tracked
+    }
+
+    /// Round days still to run.
+    pub fn rounds_remaining(&self) -> usize {
+        Timeline::all_round_days().len() - self.rounds_done
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_done(&self) -> usize {
+        self.rounds_done
+    }
+
+    /// The session's probe-volume counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Force the next [`Session::advance_round`] to probe every tracked
+    /// host, ignoring the incremental horizon for that round.
+    pub fn full_rescan(&mut self) {
+        self.full_rescan_next = true;
+    }
+
+    /// Stage 1: probe every unique server address once (day 0) and
+    /// derive the longitudinal tracking set.
+    ///
+    /// # Panics
+    ///
+    /// If the initial sweep already ran (including via restore).
+    pub fn initial_sweep(&mut self) {
+        assert!(
+            self.initial.is_none(),
+            "Session::initial_sweep: the initial sweep already ran"
+        );
+        let world = self.world;
+        let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
+        if !self.sharded() {
+            let tracer = Tracer::new(self.builder.trace);
+            let mut prober = Prober::with_options(
+                world,
+                "s1",
+                ProbeContext::shared(world).with_tracer(tracer.clone()),
+                MAX_CONCURRENT,
+                self.builder.options,
+            );
+            let mut counts = HashMap::new();
+            let (initial, busy) = Campaign::initial_sweep(&mut prober, &mut counts, &all_hosts);
+            self.initial_busy = busy;
+            self.note_tracking(&initial);
+            self.initial = Some(initial);
+            // The sequential engine keeps this one prober (and clock)
+            // across the initial sweep and every round.
+            self.workers.push(Worker {
+                prober,
+                tracer,
+                counts,
+                hosts: self.tracked.clone(),
+            });
+            return;
+        }
+
+        // Sharded: one worker per shard, retired at the join. The scope
+        // is the barrier — tracking derivation needs every shard's
+        // results.
+        let shards = self.shards();
+        let budget = (MAX_CONCURRENT / shards).max(1);
+        let partitions = partition_hosts(&all_hosts, shards);
+        let opts = self.builder.options;
+        let trace = self.builder.trace;
+        type SweepOut = (
+            InitialMeasurement,
+            HashMap<HostId, u32>,
+            EthicsAudit,
+            MetricsSnapshot,
+            SimDuration,
+            Trace,
+        );
+        let sweep_outputs: Vec<SweepOut> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = partitions
+                .iter()
+                .map(|part| {
+                    s.spawn(move |_| {
+                        let tracer = Tracer::new(trace);
+                        let mut prober = Prober::with_options(
+                            world,
+                            "s1",
+                            ProbeContext::isolated(world).with_tracer(tracer.clone()),
+                            budget,
+                            opts,
+                        );
+                        let mut counts = HashMap::new();
+                        let (initial, busy) =
+                            Campaign::initial_sweep(&mut prober, &mut counts, part);
+                        (
+                            initial,
+                            counts,
+                            prober.ethics().audit().clone(),
+                            prober.metrics().snapshot(),
+                            busy,
+                            tracer.finish(),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+        .expect("scope");
+
+        let mut initial = InitialMeasurement::default();
+        for (part_initial, part_counts, part_audit, part_network, busy, part_trace) in
+            sweep_outputs
+        {
+            initial.results.extend(part_initial.results);
+            self.merged_counts.extend(part_counts);
+            self.ethics_total = self.ethics_total.merge(&part_audit);
+            self.network_total = self.network_total.merge(&part_network);
+            self.initial_busy = self.initial_busy.max(busy);
+            self.trace_parts.push(part_trace);
+        }
+        self.note_tracking(&initial);
+        self.initial = Some(initial);
+    }
+
+    /// Derive tracking from the merged initial sweep and seed the
+    /// incremental engine's carried state: every tracked host was
+    /// conclusively measured vulnerable on day 0 (that is what made it
+    /// tracked).
+    fn note_tracking(&mut self, initial: &InitialMeasurement) {
+        let (tracked, vulnerable_domains, preferred) =
+            Campaign::derive_tracking(self.world, initial);
+        self.last_conclusive = tracked
+            .iter()
+            .map(|&h| (h, (Timeline::INITIAL, RoundStatus::Vulnerable)))
+            .collect();
+        self.tracked = tracked;
+        self.vulnerable_domains = vulnerable_domains;
+        self.preferred = preferred;
+    }
+
+    /// Record a finished round: push it onto the results and advance the
+    /// carried per-host state by its conclusive measurements.
+    fn note_round(&mut self, day: u16, statuses: HashMap<HostId, RoundStatus>) {
+        for (&host, &status) in &statuses {
+            if status != RoundStatus::Inconclusive {
+                self.last_conclusive.insert(host, (day, status));
+            }
+        }
+        self.rounds.push((day, statuses));
+        self.rounds_done += 1;
+        self.full_rescan_next = false;
+    }
+
+    /// The round phase's shard workers, created on the first round (the
+    /// monolithic engine created them at the same point: fresh probers
+    /// with fresh clocks, seeded with the initial sweep's per-host
+    /// attempt counts).
+    fn ensure_round_workers(&mut self) {
+        if !self.workers.is_empty() {
+            return;
+        }
+        let shards = self.shards();
+        let budget = (MAX_CONCURRENT / shards).max(1);
+        for part in partition_hosts(&self.tracked, shards) {
+            let tracer = Tracer::new(self.builder.trace);
+            let prober = Prober::with_options(
+                self.world,
+                "s1",
+                ProbeContext::isolated(self.world).with_tracer(tracer.clone()),
+                budget,
+                self.builder.options,
+            );
+            let counts = part
+                .iter()
+                .map(|h| (*h, self.merged_counts.get(h).copied().unwrap_or(0)))
+                .collect();
+            self.workers.push(Worker {
+                prober,
+                tracer,
+                counts,
+                hosts: part,
+            });
+        }
+    }
+
+    /// Stage 2: run the next longitudinal round. Returns the round's
+    /// day, or `None` when all rounds have run.
+    ///
+    /// # Panics
+    ///
+    /// If the initial sweep has not run.
+    pub fn advance_round(&mut self) -> Option<u16> {
+        assert!(
+            self.initial.is_some(),
+            "Session::advance_round: run initial_sweep first"
+        );
+        let day = *Timeline::all_round_days().get(self.rounds_done)?;
+        if self.sharded() {
+            self.ensure_round_workers();
+        }
+        let incremental = self.builder.incremental;
+        let full_rescan = self.full_rescan_next;
+        let world = self.world;
+        let preferred = &self.preferred;
+        let last_conclusive = &self.last_conclusive;
+        let workers = &mut self.workers;
+        type RoundOut = (HashMap<HostId, RoundStatus>, SimDuration, u64, u64);
+        let step = |w: &mut Worker<'w>| -> RoundOut {
+            if incremental {
+                incremental_round_sweep(
+                    &mut w.prober,
+                    day,
+                    &w.hosts,
+                    preferred,
+                    &mut w.counts,
+                    last_conclusive,
+                    world,
+                    full_rescan,
+                )
+            } else {
+                let (statuses, busy) =
+                    Campaign::round_sweep(&mut w.prober, day, &w.hosts, preferred, &mut w.counts);
+                let issued = w.hosts.len() as u64;
+                (statuses, busy, issued, 0)
+            }
+        };
+        let outputs: Vec<RoundOut> = if workers.len() == 1 {
+            vec![step(&mut workers[0])]
+        } else {
+            // Every shard starts the round at the same simulated day, so
+            // the round costs its slowest shard.
+            crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = workers
+                    .iter_mut()
+                    .map(|w| s.spawn(move |_| step(w)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+            .expect("scope")
+        };
+        let mut statuses = HashMap::new();
+        let mut round_busy = SimDuration::ZERO;
+        for (part_statuses, busy, issued, skipped) in outputs {
+            statuses.extend(part_statuses);
+            round_busy = round_busy.max(busy);
+            self.stats.round_probes_issued += issued;
+            self.stats.round_probes_skipped += skipped;
+        }
+        self.rounds_busy = self.rounds_busy + round_busy;
+        self.note_round(day, statuses);
+        Some(day)
+    }
+
+    /// Stage 3: the re-resolving February snapshot, then everything the
+    /// campaign measured.
+    ///
+    /// # Panics
+    ///
+    /// If any stage is missing (initial sweep not run, rounds left).
+    pub fn finish(mut self) -> CampaignRun {
+        assert_eq!(
+            self.rounds_remaining(),
+            0,
+            "Session::finish: advance_round until all rounds have run"
+        );
+        let world = self.world;
+        let opts = self.builder.options;
+        let trace = self.builder.trace;
+        let sharded = self.sharded();
+
+        // Retire the round workers. Sequentially there is exactly one,
+        // and its tracer keeps serving the snapshot prober — the
+        // monolithic sequential engine used one tracer throughout.
+        let mut seq_tracer = None;
+        for Worker { prober, tracer, .. } in self.workers.drain(..) {
+            self.ethics_total = self.ethics_total.merge(prober.ethics().audit());
+            self.network_total = self.network_total.merge(&prober.metrics().snapshot());
+            if sharded {
+                self.trace_parts.push(tracer.finish());
+            } else {
+                seq_tracer = Some(tracer);
+            }
+        }
+
+        // The snapshot re-resolves addresses (§5.1, §7.2): fresh
+        // resolution reaches the provider's current servers, so the
+        // campaign's accumulated blacklisting does not apply. It is its
+        // own measurement sweep with its own prober(s): contact-spacing
+        // decisions then depend only on the snapshot's own probe
+        // sequence, never on how close the last longitudinal round
+        // happened to finish.
+        let (targets, domain_hosts) =
+            Campaign::snapshot_targets(world, &self.vulnerable_domains, &self.tracked);
+        let preferred = &self.preferred;
+        let mut snapshot_busy = SimDuration::ZERO;
+        let mut host_statuses: HashMap<HostId, RoundStatus> = HashMap::new();
+        if !sharded {
+            let tracer = seq_tracer.unwrap_or_else(|| Tracer::new(trace));
+            let mut prober = Prober::with_options(
+                world,
+                "s1",
+                ProbeContext::shared(world).with_tracer(tracer.clone()),
+                MAX_CONCURRENT,
+                opts,
+            );
+            prober
+                .context()
+                .clock
+                .advance_to(Timeline::day_to_time(Timeline::END));
+            prober.context().query_log.clear();
+            prober.ethics_mut().begin_sweep();
+            let (statuses, busy) = Campaign::snapshot_sweep(&mut prober, &targets, preferred);
+            host_statuses = statuses;
+            snapshot_busy = busy;
+            self.ethics_total = self.ethics_total.merge(prober.ethics().audit());
+            self.network_total = self.network_total.merge(&prober.metrics().snapshot());
+            self.trace_parts.push(tracer.finish());
+        } else {
+            let shards = self.shards();
+            let budget = (MAX_CONCURRENT / shards).max(1);
+            let target_parts = partition_hosts(&targets, shards);
+            type SnapOut = (
+                HashMap<HostId, RoundStatus>,
+                EthicsAudit,
+                MetricsSnapshot,
+                QueryLog,
+                SimDuration,
+                Trace,
+            );
+            let snapshot_outputs: Vec<SnapOut> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = target_parts
+                    .iter()
+                    .map(|part| {
+                        s.spawn(move |_| {
+                            let tracer = Tracer::new(trace);
+                            let mut prober = Prober::with_options(
+                                world,
+                                "s1",
+                                ProbeContext::isolated(world).with_tracer(tracer.clone()),
+                                budget,
+                                opts,
+                            );
+                            prober
+                                .context()
+                                .clock
+                                .advance_to(Timeline::day_to_time(Timeline::END));
+                            prober.ethics_mut().begin_sweep();
+                            let (statuses, busy) =
+                                Campaign::snapshot_sweep(&mut prober, part, preferred);
+                            let log = prober.context().query_log.clone();
+                            (
+                                statuses,
+                                prober.ethics().audit().clone(),
+                                prober.metrics().snapshot(),
+                                log,
+                                busy,
+                                tracer.finish(),
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .collect()
+            })
+            .expect("scope");
+
+            let mut snapshot_logs = Vec::new();
+            for (statuses, part_audit, part_network, log, busy, part_trace) in snapshot_outputs {
+                host_statuses.extend(statuses);
+                self.ethics_total = self.ethics_total.merge(&part_audit);
+                self.network_total = self.network_total.merge(&part_network);
+                snapshot_logs.push(log);
+                snapshot_busy = snapshot_busy.max(busy);
+                self.trace_parts.push(part_trace);
+            }
+
+            // Leave the world's shared surfaces where the sequential
+            // engine leaves them: clock at the snapshot day, query log
+            // holding the snapshot phase's queries in simulated-time
+            // order.
+            world.clock.advance_to(Timeline::day_to_time(Timeline::END));
+            world.query_log.clear();
+            world
+                .query_log
+                .extend(QueryLog::merged(snapshot_logs.iter()).snapshot());
+        }
+        let snapshot = Campaign::aggregate_snapshot(&domain_hosts, &host_statuses);
+
+        let data = CampaignData {
+            initial: self.initial.take().expect("initial sweep ran"),
+            tracked: self.tracked,
+            rounds: self.rounds,
+            snapshot,
+            vulnerable_domains: self.vulnerable_domains,
+            ethics: self.ethics_total,
+            network: self.network_total,
+        };
+        let timing = CampaignTiming {
+            initial: self.initial_busy,
+            rounds: self.rounds_busy,
+            snapshot: snapshot_busy,
+        };
+        // Identity-order merge: neither which worker recorded a probe
+        // nor where a checkpoint drained the tracer leaves any mark, so
+        // this equals the uninterrupted single-tracer trace exactly.
+        let trace = trace
+            .enabled
+            .then(|| Trace::merge(self.trace_parts.drain(..)));
+        CampaignRun {
+            data,
+            timing: self.builder.timed.then_some(timing),
+            trace,
+        }
+    }
+
+    /// Serialise the session's durable state. Only legal at a stage
+    /// boundary (which is the only place the caller can be): after
+    /// `initial_sweep` or any number of `advance_round`s.
+    ///
+    /// Draining the live tracers into the state is not destructive —
+    /// the final trace is an identity-ordered merge, so a session that
+    /// checkpoints and carries on still produces the uninterrupted
+    /// trace.
+    ///
+    /// # Panics
+    ///
+    /// If the initial sweep has not run (there is nothing to save that
+    /// re-running `initial_sweep` would not recompute).
+    pub fn to_state(&mut self) -> CampaignState {
+        let initial = self
+            .initial
+            .as_ref()
+            .expect("Session::checkpoint: run initial_sweep first");
+        let mut initial_sorted: Vec<_> = initial
+            .results
+            .iter()
+            .map(|(&h, r)| (h, r.clone()))
+            .collect();
+        initial_sorted.sort_by_key(|(h, _)| *h);
+        let rounds = self
+            .rounds
+            .iter()
+            .map(|(day, statuses)| {
+                let mut hosts: Vec<_> = statuses.iter().map(|(&h, &s)| (h, s)).collect();
+                hosts.sort_by_key(|(h, _)| *h);
+                (*day, hosts)
+            })
+            .collect();
+        let workers = self
+            .workers
+            .iter()
+            .map(|w| {
+                let (ethics, contacts) = w.prober.ethics().export();
+                let mut counts: Vec<_> = w.counts.iter().map(|(&h, &n)| (h, n)).collect();
+                counts.sort_by_key(|(h, _)| *h);
+                WorkerState {
+                    clock_micros: w.prober.context().clock.now().as_micros(),
+                    ethics,
+                    contacts,
+                    metrics: w.prober.metrics().snapshot(),
+                    occurrences: w.prober.occurrences_export(),
+                    counts,
+                }
+            })
+            .collect();
+        // Drain the live tracers so the state holds every record
+        // emitted so far; the handles stay usable for the next stage.
+        for w in &self.workers {
+            self.trace_parts.push(w.tracer.finish());
+        }
+        let trace_records = self
+            .trace_parts
+            .iter()
+            .flat_map(|t| t.records.iter().cloned())
+            .collect();
+        let mut merged_counts: Vec<_> = self
+            .merged_counts
+            .iter()
+            .map(|(&h, &n)| (h, n))
+            .collect();
+        merged_counts.sort_by_key(|(h, _)| *h);
+        CampaignState {
+            builder: self.builder,
+            world_seed: self.world.config.seed,
+            world_scale: self.world.config.scale,
+            rounds_done: self.rounds_done,
+            initial_busy: self.initial_busy,
+            rounds_busy: self.rounds_busy,
+            stats: self.stats,
+            initial: initial_sorted,
+            rounds,
+            ethics_total: self.ethics_total.clone(),
+            network_total: self.network_total,
+            merged_counts,
+            workers,
+            trace_records,
+        }
+    }
+
+    /// Rebuild a session from a [`CampaignState`] against `world`,
+    /// which must be the world the checkpointed session ran against
+    /// (same seed and scale — worlds are pure functions of those).
+    pub fn from_state(state: CampaignState, world: &'w World) -> Result<Session<'w>, String> {
+        if world.config.seed != state.world_seed {
+            return Err(format!(
+                "checkpoint is for world seed {}, got {}",
+                state.world_seed, world.config.seed
+            ));
+        }
+        if world.config.scale.to_bits() != state.world_scale.to_bits() {
+            return Err(format!(
+                "checkpoint is for world scale {}, got {}",
+                state.world_scale, world.config.scale
+            ));
+        }
+        let mut session = Session::new(state.builder, world);
+        let initial = InitialMeasurement {
+            results: state.initial.into_iter().collect(),
+        };
+        session.note_tracking(&initial);
+        session.initial = Some(initial);
+        session.initial_busy = state.initial_busy;
+        session.rounds_busy = state.rounds_busy;
+        session.stats = state.stats;
+        session.ethics_total = state.ethics_total;
+        session.network_total = state.network_total;
+        session.merged_counts = state.merged_counts.into_iter().collect();
+        for (day, hosts) in state.rounds {
+            session.note_round(day, hosts.into_iter().collect());
+        }
+        if session.rounds_done != state.rounds_done {
+            return Err(format!(
+                "checkpoint records {} rounds but claims {} done",
+                session.rounds_done, state.rounds_done
+            ));
+        }
+        if !state.trace_records.is_empty() {
+            session.trace_parts.push(Trace {
+                records: state.trace_records,
+            });
+        }
+
+        // Rebuild the live workers: a prober's durable state is its
+        // clock, ethics guard, metrics, and probe-repetition counters —
+        // everything else is a pure function of the world seed and the
+        // suite label, so `with_options` + restore reproduces the
+        // worker exactly.
+        let sharded = session.sharded();
+        let shards = session.shards();
+        let budget = if sharded {
+            (MAX_CONCURRENT / shards).max(1)
+        } else {
+            MAX_CONCURRENT
+        };
+        let expected = if sharded {
+            // Before the first round the sharded engine has no live
+            // workers (they are created lazily with the merged counts).
+            if state.workers.is_empty() { 0 } else { shards }
+        } else {
+            1
+        };
+        if state.workers.len() != expected {
+            return Err(format!(
+                "checkpoint has {} worker states, expected {expected} for {} shard(s)",
+                state.workers.len(),
+                shards
+            ));
+        }
+        let parts = partition_hosts(&session.tracked, shards);
+        for (i, ws) in state.workers.into_iter().enumerate() {
+            let tracer = Tracer::new(session.builder.trace);
+            let ctx = if sharded {
+                ProbeContext::isolated(world)
+            } else {
+                ProbeContext::shared(world)
+            };
+            let mut prober = Prober::with_options(
+                world,
+                "s1",
+                ctx.with_tracer(tracer.clone()),
+                budget,
+                session.builder.options,
+            );
+            prober
+                .context()
+                .clock
+                .advance_to(SimTime::from_micros(ws.clock_micros));
+            prober.ethics_mut().restore(ws.ethics, ws.contacts);
+            prober.metrics().add_snapshot(&ws.metrics);
+            prober.occurrences_restore(ws.occurrences);
+            let hosts = if sharded {
+                parts[i].clone()
+            } else {
+                session.tracked.clone()
+            };
+            session.workers.push(Worker {
+                prober,
+                tracer,
+                counts: ws.counts.into_iter().collect(),
+                hosts,
+            });
+        }
+        Ok(session)
+    }
+
+    /// Write the session's durable state to `path`. See
+    /// [`Session::to_state`] for what is saved and when this is legal.
+    pub fn checkpoint(&mut self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_state().to_text())
+    }
+
+    /// Continue a checkpointed session from `path` against `world` —
+    /// the inverse of [`Session::checkpoint`].
+    pub fn restore(path: impl AsRef<Path>, world: &'w World) -> io::Result<Session<'w>> {
+        let text = std::fs::read_to_string(path)?;
+        let state = CampaignState::parse(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Session::from_state(state, world)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// One incremental longitudinal round: identical to
+/// `Campaign::round_sweep` except that hosts inside the skip horizon
+/// answer from carried state. Returns the round statuses, the busy
+/// time, and the issued/skipped probe counts.
+#[allow(clippy::too_many_arguments)]
+fn incremental_round_sweep(
+    prober: &mut Prober<'_>,
+    day: u16,
+    hosts: &[HostId],
+    preferred: &HashMap<HostId, ProbeTest>,
+    counts: &mut HashMap<HostId, u32>,
+    last_conclusive: &HashMap<HostId, (u16, RoundStatus)>,
+    world: &World,
+    full_rescan: bool,
+) -> (HashMap<HostId, RoundStatus>, SimDuration, u64, u64) {
+    prober
+        .context()
+        .tracer
+        .set_phase(spfail_trace::Phase::Round(day));
+    prober
+        .context()
+        .clock
+        .advance_to(Timeline::day_to_time(day));
+    prober.context().query_log.clear();
+    prober.ethics_mut().begin_sweep();
+    let start = prober.context().clock.now();
+    let faults_active = prober.options().faults.is_active();
+    let retries_active = prober.options().retry.max_attempts > 1;
+    let mut statuses = HashMap::new();
+    let mut issued = 0u64;
+    let mut skipped = 0u64;
+    for &host in hosts {
+        let seen = counts.entry(host).or_insert(0);
+        let test = preferred[&host];
+        let profile = &world.host(host).profile;
+        // The skip horizon. A host's round probe can be answered from
+        // carried state only when nothing that can change the answer
+        // lies in between — and injected faults perturb every probe, so
+        // they disable skipping wholesale.
+        let carried = if full_rescan || faults_active {
+            None
+        } else if let Some(limit) = profile.blacklist_after {
+            // A host past its blacklist threshold rejects every
+            // connection at the banner, so the round is Inconclusive no
+            // matter what (even a flaky connect times out into the same
+            // verdict) and a no-retry probe spends exactly one attempt.
+            // Pre-threshold probes run for real — one probe can open
+            // more than one connection (greylisting), so predicting the
+            // crossing is not worth the machinery — as do retried ones,
+            // whose attempt count depends on the rejection banner drawn.
+            (*seen >= limit && !retries_active).then_some(RoundStatus::Inconclusive)
+        } else {
+            // Deterministic host: its last conclusive status survives
+            // if no patch event lies in the window since and this
+            // round's probe would miss the host's flaky roll (replayed
+            // from the probe's identity rng without issuing it).
+            last_conclusive
+                .get(&host)
+                .filter(|(last_day, _)| !profile.status_event_in(*last_day, day))
+                .map(|&(_, status)| status)
+                .filter(|_| !prober.would_flake(host, day, test, *seen))
+        };
+        if let Some(status) = carried {
+            // A full rescan would spend exactly one deterministic,
+            // conclusive attempt here; mirror its blacklist counter so
+            // every probe this engine *does* issue rolls the same dice.
+            *seen += 1;
+            skipped += 1;
+            statuses.insert(host, status);
+            continue;
+        }
+        let (outcome, attempts) = prober.probe_with_retry(host, day, test, *seen);
+        *seen += attempts;
+        issued += 1;
+        statuses.insert(host, Campaign::round_status(&outcome));
+    }
+    let busy = prober.context().clock.now().since(start);
+    (statuses, busy, issued, skipped)
+}

@@ -2,16 +2,18 @@
 //!
 //! ```text
 //! cargo run -p spfail-report --release --bin experiments -- \
-//!     [--scale 0.05] [--seed 0x5bf2a117] [--json exhibits.json] [--md EXPERIMENTS.md]
+//!     [--scale 0.05] [--seed 0x5bf2a117] [--json exhibits.json] [--md EXPERIMENTS.md] \
+//!     [--only fig7,table3]
 //! ```
 //!
 //! Prints each exhibit, and optionally writes the machine-readable JSON
-//! and a paper-vs-measured markdown record.
+//! and a paper-vs-measured markdown record. `--only` selects exhibits
+//! from the registry by id (repeatable, comma-separable).
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use spfail_report::{all_exhibits, Context};
+use spfail_report::{all_exhibits, exhibit_by_id, Context, Exhibit, EXHIBIT_REGISTRY};
 
 struct Args {
     scale: f64,
@@ -19,6 +21,7 @@ struct Args {
     json_path: Option<String>,
     md_path: Option<String>,
     latex_dir: Option<String>,
+    only: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -28,6 +31,7 @@ fn parse_args() -> Args {
         json_path: None,
         md_path: None,
         latex_dir: None,
+        only: Vec::new(),
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -47,10 +51,21 @@ fn parse_args() -> Args {
             "--json" => args.json_path = Some(value("--json")),
             "--md" => args.md_path = Some(value("--md")),
             "--latex" => args.latex_dir = Some(value("--latex")),
+            "--only" => args
+                .only
+                .extend(value("--only").split(',').map(str::to_string)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale F] [--seed N] [--json PATH] [--md PATH] \
-                     [--latex DIR]"
+                     [--latex DIR] [--only ID[,ID...]]"
+                );
+                eprintln!(
+                    "exhibit ids: {}",
+                    EXHIBIT_REGISTRY
+                        .iter()
+                        .map(|e| e.id)
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
                 std::process::exit(0);
             }
@@ -58,6 +73,30 @@ fn parse_args() -> Args {
         }
     }
     args
+}
+
+/// The selected exhibits: the whole registry, or the `--only` ids in
+/// the order given.
+fn selected_exhibits(args: &Args, ctx: &Context) -> Vec<Exhibit> {
+    if args.only.is_empty() {
+        return all_exhibits(ctx);
+    }
+    args.only
+        .iter()
+        .map(|id| {
+            let entry = exhibit_by_id(id).unwrap_or_else(|| {
+                panic!(
+                    "unknown exhibit id {id:?}; known ids: {}",
+                    EXHIBIT_REGISTRY
+                        .iter()
+                        .map(|e| e.id)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            });
+            (entry.build)(ctx)
+        })
+        .collect()
 }
 
 /// Re-parse a rendered ASCII table back into a [`Table`] for LaTeX
@@ -124,7 +163,7 @@ fn main() {
         ctx.campaign.ethics.peak_concurrency,
     );
 
-    let exhibits = all_exhibits(&ctx);
+    let exhibits = selected_exhibits(&args, &ctx);
     let mut json_out = serde_json::Map::new();
     let mut md = String::new();
     let _ = writeln!(

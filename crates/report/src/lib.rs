@@ -50,28 +50,70 @@ pub struct Exhibit {
     pub json: Value,
 }
 
+/// One entry of the exhibit registry: a stable identifier and the
+/// builder that regenerates the exhibit from a pipeline run.
+pub struct ExhibitEntry {
+    /// Identifier, matching the built [`Exhibit::id`].
+    pub id: &'static str,
+    /// Build the exhibit from one pipeline run.
+    pub build: fn(&Context) -> Exhibit,
+}
+
+/// The exhibit registry, in paper order. Single source of truth for
+/// "every exhibit": [`all_exhibits`] walks it, and the experiments
+/// binary's `--only` flag selects from it by id.
+pub const EXHIBIT_REGISTRY: &[ExhibitEntry] = &[
+    ExhibitEntry { id: "table1", build: tables::table1 },
+    ExhibitEntry { id: "table2", build: tables::table2 },
+    ExhibitEntry { id: "table3", build: tables::table3 },
+    ExhibitEntry { id: "table4", build: tables::table4 },
+    ExhibitEntry { id: "table5", build: tables::table5 },
+    ExhibitEntry { id: "table6", build: |_| tables::table6() },
+    ExhibitEntry { id: "table7", build: tables::table7 },
+    ExhibitEntry { id: "fig2", build: figures::fig2 },
+    ExhibitEntry { id: "fig3", build: figures::fig3 },
+    ExhibitEntry { id: "fig4", build: figures::fig4 },
+    ExhibitEntry { id: "fig5", build: figures::fig5 },
+    ExhibitEntry { id: "fig6", build: figures::fig6 },
+    ExhibitEntry { id: "fig7", build: figures::fig7 },
+    ExhibitEntry { id: "fig8", build: figures::fig8 },
+    ExhibitEntry { id: "funnel", build: figures::notification_funnel },
+    ExhibitEntry { id: "attribution", build: figures::attribution },
+    ExhibitEntry { id: "resilience", build: resilience::resilience },
+    ExhibitEntry { id: "trace_profile", build: trace_profile::trace_profile },
+];
+
+/// Look up a registry entry by exhibit id.
+pub fn exhibit_by_id(id: &str) -> Option<&'static ExhibitEntry> {
+    EXHIBIT_REGISTRY.iter().find(|e| e.id == id)
+}
+
 /// Build every exhibit from one pipeline run, in paper order.
 pub fn all_exhibits(ctx: &Context) -> Vec<Exhibit> {
-    vec![
-        tables::table1(ctx),
-        tables::table2(ctx),
-        tables::table3(ctx),
-        tables::table4(ctx),
-        tables::table5(ctx),
-        tables::table6(),
-        tables::table7(ctx),
-        figures::fig2(ctx),
-        figures::fig3(ctx),
-        figures::fig4(ctx),
-        figures::fig5(ctx),
-        figures::fig6(ctx),
-        figures::fig7(ctx),
-        figures::fig8(ctx),
-        figures::notification_funnel(ctx),
-        figures::attribution(ctx),
-        resilience::resilience(ctx),
-        trace_profile::trace_profile(ctx),
-    ]
+    EXHIBIT_REGISTRY.iter().map(|e| (e.build)(ctx)).collect()
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for entry in EXHIBIT_REGISTRY {
+            assert!(seen.insert(entry.id), "duplicate exhibit id {}", entry.id);
+        }
+    }
+
+    #[test]
+    fn registry_ids_match_built_exhibits() {
+        let ctx = testctx::shared();
+        for entry in EXHIBIT_REGISTRY {
+            assert_eq!((entry.build)(ctx).id, entry.id);
+        }
+        assert!(exhibit_by_id("fig7").is_some());
+        assert!(exhibit_by_id("fig99").is_none());
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,21 @@ impl Context {
             scale,
             ..WorldConfig::default()
         });
-        let campaign = CampaignBuilder::new().run(&world).data;
+        // Drive the staged session explicitly — the report pipeline is
+        // the reference consumer of the stage-by-stage API.
+        let campaign = {
+            let mut session = CampaignBuilder::new().session(&world);
+            session.initial_sweep();
+            while session.advance_round().is_some() {}
+            session.finish().data
+        };
+        Context::from_campaign(world, campaign)
+    }
+
+    /// Build the exhibit context from an already-measured campaign —
+    /// e.g. one continued from a [`spfail_prober::Session`] checkpoint.
+    /// `campaign` must have been measured against `world`.
+    pub fn from_campaign(world: World, campaign: CampaignData) -> Context {
         let mut pixels = PixelLog::new();
         // The notification list is the *measured* vulnerable set — domains
         // hosted on addresses whose initial probe showed the fingerprint —

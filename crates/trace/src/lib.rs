@@ -84,6 +84,18 @@ impl Phase {
             Phase::Snapshot => "snapshot".to_string(),
         }
     }
+
+    /// The inverse of [`Phase::label`].
+    pub fn parse_label(s: &str) -> Option<Phase> {
+        match s {
+            "initial" => Some(Phase::Initial),
+            "snapshot" => Some(Phase::Snapshot),
+            _ => s
+                .strip_prefix("round-d")
+                .and_then(|day| day.parse().ok())
+                .map(Phase::Round),
+        }
+    }
 }
 
 /// The span vocabulary under a probe span.
@@ -117,6 +129,63 @@ impl SpanKind {
             SpanKind::GreylistWait => "greylist_wait",
             SpanKind::Fault => "fault",
         }
+    }
+
+    /// The inverse of [`SpanKind::name`].
+    pub fn parse_name(s: &str) -> Option<SpanKind> {
+        match s {
+            "dns_resolve" => Some(SpanKind::DnsResolve),
+            "smtp_session" => Some(SpanKind::SmtpSession),
+            "retry_wait" => Some(SpanKind::RetryWait),
+            "greylist_wait" => Some(SpanKind::GreylistWait),
+            "fault" => Some(SpanKind::Fault),
+            _ => None,
+        }
+    }
+}
+
+/// Map an outcome string back onto the stack's `&'static str` outcome
+/// vocabulary, so a trace restored from a checkpoint compares equal
+/// (pointer contents, not provenance) to a live-recorded one.
+///
+/// Every outcome the resolver, SMTP driver, fault layer, and retry loop
+/// emit is matched explicitly; an unrecognised outcome (e.g. from a
+/// checkpoint written by a newer vocabulary) is leaked once into a
+/// `'static` string rather than rejected.
+pub fn intern_outcome(s: &str) -> &'static str {
+    const KNOWN: &[&str] = &[
+        // dns_resolve
+        "ok",
+        "nxdomain",
+        "nodata",
+        "timeout",
+        "servfail",
+        "no_authority",
+        "cname_loop",
+        // smtp_session (TransactionOutcome::label + refused connections)
+        "refused",
+        "rejected_connect",
+        "rejected_hello",
+        "rejected_mail_from",
+        "rejected_rcpt",
+        "rejected_data",
+        "transient",
+        "connection_reset",
+        "nomsg_completed",
+        "message_accepted",
+        "message_rejected",
+        // fault
+        "flaky",
+        "window_closed",
+        "smtp_tempfail",
+        "smtp_reset",
+        // retry_wait / greylist_wait
+        "backoff",
+        "greylisted",
+    ];
+    match KNOWN.iter().find(|&&k| k == s) {
+        Some(&k) => k,
+        None => Box::leak(s.to_string().into_boxed_str()),
     }
 }
 
@@ -224,6 +293,155 @@ impl ProbeRecord {
         }
         Ok(())
     }
+
+    /// Serialise the record onto one line of the checkpoint wire form:
+    ///
+    /// ```text
+    /// <phase> <host> <day> <test> <extra> <seq> <duration_us> <event>...
+    /// ```
+    ///
+    /// with each event either `+span@at[=label]` (enter) or
+    /// `-span@at=outcome` (exit); labels and outcomes are percent-escaped
+    /// so the line stays whitespace-delimited.
+    pub fn to_wire(&self) -> String {
+        let mut out = format!(
+            "{} {} {} {} {} {} {}",
+            self.phase.label(),
+            self.host,
+            self.day,
+            self.test,
+            self.extra,
+            self.seq,
+            self.duration_us,
+        );
+        for event in &self.events {
+            match &event.kind {
+                TraceEventKind::Enter { span, label } => {
+                    let _ = write!(out, " +{}@{}", span.name(), event.at_us);
+                    if let Some(label) = label {
+                        let _ = write!(out, "={}", escape_field(label));
+                    }
+                }
+                TraceEventKind::Exit { span, outcome } => {
+                    let _ = write!(
+                        out,
+                        " -{}@{}={}",
+                        span.name(),
+                        event.at_us,
+                        escape_field(outcome)
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse one [`ProbeRecord::to_wire`] line. Exit outcomes are
+    /// re-interned through [`intern_outcome`], so the restored record
+    /// compares equal to the live-recorded original.
+    pub fn from_wire(line: &str) -> Result<ProbeRecord, String> {
+        let mut fields = line.split(' ');
+        let mut next = |what: &str| {
+            fields
+                .next()
+                .ok_or_else(|| format!("trace record: missing {what}"))
+        };
+        let phase = next("phase")?;
+        let phase = Phase::parse_label(phase).ok_or_else(|| format!("bad phase {phase:?}"))?;
+        let host = parse_num(next("host")?, "host")?;
+        let day = parse_num(next("day")?, "day")?;
+        let test = parse_num(next("test")?, "test")?;
+        let extra = parse_num(next("extra")?, "extra")?;
+        let seq = parse_num(next("seq")?, "seq")?;
+        let duration_us = parse_num(next("duration_us")?, "duration_us")?;
+        let mut events = Vec::new();
+        for field in fields {
+            let (enter, rest) = if let Some(rest) = field.strip_prefix('+') {
+                (true, rest)
+            } else if let Some(rest) = field.strip_prefix('-') {
+                (false, rest)
+            } else {
+                return Err(format!("bad event field {field:?}"));
+            };
+            let (span, rest) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("bad event field {field:?}"))?;
+            let span =
+                SpanKind::parse_name(span).ok_or_else(|| format!("bad span {span:?}"))?;
+            let (at, detail) = match rest.split_once('=') {
+                Some((at, detail)) => (at, Some(detail)),
+                None => (rest, None),
+            };
+            let at_us = parse_num(at, "event time")?;
+            let kind = if enter {
+                TraceEventKind::Enter {
+                    span,
+                    label: detail.map(unescape_field),
+                }
+            } else {
+                let outcome = detail.ok_or_else(|| format!("exit without outcome: {field:?}"))?;
+                TraceEventKind::Exit {
+                    span,
+                    outcome: intern_outcome(&unescape_field(outcome)),
+                }
+            };
+            events.push(TraceEvent { at_us, kind });
+        }
+        Ok(ProbeRecord {
+            phase,
+            host,
+            day,
+            test,
+            extra,
+            seq,
+            duration_us,
+            events,
+        })
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+/// Percent-escape a free-form field into pure printable ASCII with no
+/// whitespace or separator bytes: `%`, space, `=`, control characters,
+/// and every non-ASCII byte become `%XX`.
+pub fn escape_field(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'%' | b' ' | b'=' | 0..=0x1f | 0x7f.. => {
+                let _ = write!(out, "%{b:02x}");
+            }
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+/// Undo [`escape_field`]. Malformed escapes pass through literally.
+pub fn unescape_field(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let escaped = (bytes[i] == b'%' && i + 3 <= bytes.len())
+            .then(|| std::str::from_utf8(&bytes[i + 1..i + 3]).ok())
+            .flatten()
+            .and_then(|hex| u8::from_str_radix(hex, 16).ok());
+        match escaped {
+            Some(b) => {
+                out.push(b);
+                i += 3;
+            }
+            None => {
+                out.push(bytes[i]);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned())
 }
 
 #[derive(Debug, Default)]
@@ -768,6 +986,62 @@ mod tests {
         ));
         assert!(jsonl.contains("\"label\":\"TXT spf.test\""));
         assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+    }
+
+    #[test]
+    fn wire_form_round_trips() {
+        let trace = sample_trace();
+        for record in &trace.records {
+            let line = record.to_wire();
+            assert!(!line.contains('\n'));
+            let back = ProbeRecord::from_wire(&line).expect("parses");
+            assert_eq!(&back, record);
+        }
+        // Labels with separator bytes survive the escaping.
+        let mut record = trace.records[0].clone();
+        record.events[1] = TraceEvent {
+            at_us: 10,
+            kind: TraceEventKind::Enter {
+                span: SpanKind::DnsResolve,
+                label: Some("TXT sp%f =weird\nlabel\u{fc}".into()),
+            },
+        };
+        let back = ProbeRecord::from_wire(&record.to_wire()).expect("parses");
+        assert_eq!(back, record);
+        // Malformed lines are rejected, not misparsed.
+        assert!(ProbeRecord::from_wire("initial 1 0 0 0").is_err());
+        assert!(ProbeRecord::from_wire("nonsense 1 0 0 0 0 0").is_err());
+        assert!(ProbeRecord::from_wire("initial 1 0 0 0 0 0 ~what@3").is_err());
+        assert!(ProbeRecord::from_wire("initial 1 0 0 0 0 0 -fault@3").is_err());
+    }
+
+    #[test]
+    fn outcome_interning_covers_the_vocabulary() {
+        for outcome in ["ok", "nomsg_completed", "greylisted", "window_closed"] {
+            // The interned pointer is the canonical constant, so restored
+            // records compare equal to live ones even under pointer-based
+            // shortcuts.
+            assert_eq!(intern_outcome(&String::from(outcome)), outcome);
+        }
+        assert_eq!(intern_outcome("never_seen_before"), "never_seen_before");
+    }
+
+    #[test]
+    fn phase_and_span_labels_round_trip() {
+        for phase in [Phase::Initial, Phase::Round(15), Phase::Round(126), Phase::Snapshot] {
+            assert_eq!(Phase::parse_label(&phase.label()), Some(phase));
+        }
+        assert_eq!(Phase::parse_label("round-dX"), None);
+        for span in [
+            SpanKind::DnsResolve,
+            SpanKind::SmtpSession,
+            SpanKind::RetryWait,
+            SpanKind::GreylistWait,
+            SpanKind::Fault,
+        ] {
+            assert_eq!(SpanKind::parse_name(span.name()), Some(span));
+        }
+        assert_eq!(SpanKind::parse_name("other"), None);
     }
 
     #[test]

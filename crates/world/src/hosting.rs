@@ -78,6 +78,24 @@ impl HostProfile {
         self.spf_stage != SpfStage::Never
     }
 
+    /// The patch-event horizon query: whether the host's observable SPF
+    /// status can differ between a probe on day `after` and one on day
+    /// `upto`. The only day-keyed event in a host's behaviour model is
+    /// its patch day, so the answer is whether that day falls in
+    /// `(after, upto]`.
+    pub fn status_event_in(&self, after: u16, upto: u16) -> bool {
+        self.patch_day.is_some_and(|patch| after < patch && patch <= upto)
+    }
+
+    /// Whether re-probing this host is guaranteed to repeat the last
+    /// observation absent a patch event: a flaky host rolls fresh
+    /// transient failures every probe, and a blacklisting host changes
+    /// its answer once the probe counter crosses its threshold, so
+    /// neither can be skipped by an incremental round.
+    pub fn reprobe_is_deterministic(&self) -> bool {
+        self.flaky <= 0.0 && self.blacklist_after.is_none()
+    }
+
     /// Materialise an [`MtaConfig`] for this host as of `day`.
     pub fn mta_config(&self, hostname: &str, day: u16) -> MtaConfig {
         let mut config = MtaConfig {

@@ -244,6 +244,24 @@ impl World {
         d.hosts.clone()
     }
 
+    /// The patch-event horizon for a host set: which of `hosts` have a
+    /// status-changing event (a patch day) scheduled in `(after, upto]`.
+    /// An incremental longitudinal round must re-probe exactly these
+    /// hosts plus any whose behaviour is not deterministically
+    /// repeatable (see [`crate::HostProfile::reprobe_is_deterministic`]).
+    pub fn hosts_with_status_events(
+        &self,
+        hosts: &[HostId],
+        after: u16,
+        upto: u16,
+    ) -> Vec<HostId> {
+        hosts
+            .iter()
+            .copied()
+            .filter(|&h| self.host(h).profile.status_event_in(after, upto))
+            .collect()
+    }
+
     /// Hosts that were running vulnerable libSPF2 at the initial
     /// measurement.
     pub fn initially_vulnerable_hosts(&self) -> Vec<HostId> {

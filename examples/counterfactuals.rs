@@ -5,10 +5,20 @@
 //!
 //! ```text
 //! cargo run -p spfail --release --example counterfactuals
+//! cargo run -p spfail --release --example counterfactuals -- --shards 4 --incremental
 //! ```
+//!
+//! Accepts the shared campaign flags (`examples/campaign_args.rs`):
+//! `--shards N` runs each scenario on the sharded engine and
+//! `--incremental` cuts the per-round probe volume — neither changes a
+//! single measured number.
 
-use spfail::prober::{CampaignBuilder, SnapshotStatus};
+use spfail::prober::SnapshotStatus;
 use spfail::world::{World, WorldConfig};
+
+#[path = "campaign_args.rs"]
+mod campaign_args;
+use campaign_args::CampaignArgs;
 
 struct Scenario {
     name: &'static str,
@@ -26,6 +36,7 @@ fn base_config() -> WorldConfig {
 }
 
 fn main() {
+    let args = CampaignArgs::parse();
     let scenarios = [
         Scenario {
             name: "baseline",
@@ -77,7 +88,7 @@ fn main() {
     println!("{}", "-".repeat(80));
     for scenario in scenarios {
         let world = World::generate(scenario.config);
-        let data = CampaignBuilder::new().run(&world).data;
+        let data = args.builder().run(&world).data;
         let patched_by = |day: u16| {
             data.tracked
                 .iter()

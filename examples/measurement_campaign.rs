@@ -20,70 +20,70 @@
 //! `PATH.collapsed`; `--profile` prints the per-span-path latency
 //! profile. Either flag enables tracing, and the trace is byte-identical
 //! across shard counts (see tests/trace_equivalence.rs).
+//!
+//! `--checkpoint PATH` drives the staged `Session` API and writes a
+//! resumable checkpoint after the initial sweep and after every round;
+//! `--resume` continues from that file (`tests/session_checkpoint.rs`
+//! proves kill-and-resume is byte-identical to an uninterrupted run).
+//! `--stop-after-round N` exits mid-campaign after `N` rounds — a
+//! deterministic kill for exercising resume. `--incremental` re-probes
+//! only hosts whose status can have changed since their last conclusive
+//! measurement; the measured data is identical, the probe volume is not.
+//! The full flag vocabulary lives in `examples/campaign_args.rs`.
 
-use spfail::netsim::{FaultPlan, FaultProfile};
 use spfail::notify::{NotificationCampaign, PixelLog};
-use spfail::prober::{CampaignBuilder, RetryPolicy, SnapshotStatus, TraceConfig};
+use spfail::prober::{CampaignRun, SnapshotStatus};
 use spfail::trace::format_us;
 use spfail::world::{Timeline, World, WorldConfig};
 
-/// Command-line options: `--shards N`, `--dns-drop P`, `--retry`,
-/// `--trace-out PATH`, `--profile`.
-struct Options {
-    shards: usize,
-    dns_drop: f64,
-    retry: bool,
-    trace_out: Option<String>,
-    profile: bool,
-}
+#[path = "campaign_args.rs"]
+mod campaign_args;
+use campaign_args::CampaignArgs;
 
-fn parse_args() -> Options {
-    let mut opts = Options {
-        shards: 0,
-        dns_drop: 0.0,
-        retry: false,
-        trace_out: None,
-        profile: false,
+/// Drive the staged [`spfail::prober::Session`] API, checkpointing at
+/// every stage boundary. Exits early when `--stop-after-round` says so.
+fn run_staged(world: &World, options: &CampaignArgs) -> CampaignRun {
+    let path = options.checkpoint.as_deref().expect("checkpoint path set");
+    let mut session = if options.resume {
+        let session = spfail::prober::Session::restore(path, world)
+            .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
+        println!(
+            "  resumed from {path}: {} rounds done, {} remaining",
+            session.rounds_done(),
+            session.rounds_remaining()
+        );
+        session
+    } else {
+        let mut session = options.builder().session(world);
+        session.initial_sweep();
+        session.checkpoint(path).expect("write checkpoint");
+        session
     };
-    let mut args = std::env::args().skip(1);
-    let bad = |flag: &str, wants: &str| -> ! {
-        eprintln!("{flag} expects {wants}");
-        std::process::exit(2);
-    };
-    while let Some(arg) = args.next() {
-        let mut value = |flag: &str, wants: &str| -> String {
-            arg.strip_prefix(&format!("{flag}="))
-                .map(str::to_string)
-                .or_else(|| args.next())
-                .unwrap_or_else(|| bad(flag, wants))
-        };
-        if arg == "--shards" || arg.starts_with("--shards=") {
-            let wants = "a positive integer";
-            opts.shards = value("--shards", wants)
-                .parse()
-                .ok()
-                .filter(|&n: &usize| n > 0)
-                .unwrap_or_else(|| bad("--shards", wants));
-        } else if arg == "--dns-drop" || arg.starts_with("--dns-drop=") {
-            let wants = "a probability in [0, 1]";
-            opts.dns_drop = value("--dns-drop", wants)
-                .parse()
-                .ok()
-                .filter(|p| (0.0..=1.0).contains(p))
-                .unwrap_or_else(|| bad("--dns-drop", wants));
-        } else if arg == "--retry" {
-            opts.retry = true;
-        } else if arg == "--trace-out" || arg.starts_with("--trace-out=") {
-            opts.trace_out = Some(value("--trace-out", "an output path"));
-        } else if arg == "--profile" {
-            opts.profile = true;
+    while session.advance_round().is_some() {
+        session.checkpoint(path).expect("write checkpoint");
+        if options
+            .stop_after_round
+            .is_some_and(|n| session.rounds_done() >= n)
+        {
+            println!(
+                "  stopping after round {} as requested; resume with --resume",
+                session.rounds_done()
+            );
+            std::process::exit(0);
         }
     }
-    opts
+    let stats = session.stats();
+    if options.incremental {
+        println!(
+            "  incremental rounds: {} probes issued, {} answered from carried state",
+            stats.round_probes_issued, stats.round_probes_skipped
+        );
+    }
+    session.finish()
 }
 
 fn main() {
-    let options = parse_args();
+    let options = CampaignArgs::parse();
     let shards = options.shards;
     let config = WorldConfig {
         scale: 0.02,
@@ -105,7 +105,6 @@ fn main() {
     if shards > 1 {
         println!("  (sharded engine, {shards} parallel workers)");
     }
-    let mut builder = CampaignBuilder::new().shards(shards);
     if options.dns_drop > 0.0 {
         println!(
             "  (injecting DNS datagram loss at {:.0}%{})",
@@ -116,19 +115,12 @@ fn main() {
                 ", no retries"
             }
         );
-        builder = builder.faults(FaultProfile {
-            dns: FaultPlan::dns_timeout(options.dns_drop),
-            ..FaultProfile::NONE
-        });
     }
-    if options.retry {
-        builder = builder.retry(RetryPolicy::standard());
-    }
-    let tracing = options.trace_out.is_some() || options.profile;
-    if tracing {
-        builder = builder.trace(TraceConfig::enabled());
-    }
-    let run = builder.run(&world);
+    let run = if options.checkpoint.is_some() {
+        run_staged(&world, &options)
+    } else {
+        options.builder().run(&world)
+    };
     let data = run.data;
     println!(
         "  {} addresses measured vulnerable, hosting {} domains",
