@@ -261,6 +261,62 @@ fn conformance_oracle_per_case_allocation_budget() {
     );
 }
 
+/// The compiled-policy cache hot path (see `spfail_spf::compile`): a
+/// result-memo hit must be a pure probe — **zero** allocations, no
+/// record parse, no op interpretation — and a warm intern must pay only
+/// the canonical-text key (one String, plus padding for allocator
+/// noise). The cold compile is pinned too, so the lowering never grows
+/// a per-term or per-byte allocation silently.
+#[test]
+fn policy_cache_allocation_budget() {
+    use std::net::IpAddr;
+
+    use spfail_spf::{PolicyCache, SpfResult};
+
+    let text = "v=spf1 ip4:192.0.2.0/24 ip4:198.51.100.0/24 ~all";
+    let ip: IpAddr = "192.0.2.9".parse().unwrap();
+
+    // Warm up the cache's lazy map storage with an unrelated policy so
+    // the cold measurement is the compile, not HashMap table growth.
+    let mut cache = PolicyCache::new();
+    let (warm_id, _) = cache.intern("v=spf1 -all").unwrap();
+    cache.insert_result(warm_id, ip, SpfResult::Fail);
+
+    let (cold, interned) = count_allocs(|| cache.intern(text).unwrap());
+    let (id, policy) = interned;
+    assert!(policy.memoizable(), "fixture policy must be memoizable");
+    cache.insert_result(id, ip, SpfResult::SoftFail);
+
+    let (warm_intern, _) = count_allocs(|| cache.intern(text).unwrap());
+    let (memo_hit, result) = count_allocs(|| cache.memo_result(id, ip));
+    assert_eq!(result, Some(SpfResult::SoftFail));
+
+    eprintln!(
+        "alloc_count: policy compile cold = {cold}, warm intern = {warm_intern}, \
+         memo hit = {memo_hit}"
+    );
+    assert_eq!(
+        memo_hit, 0,
+        "a result-memo hit must not allocate — it is the evaluation hot path"
+    );
+    assert!(
+        warm_intern <= WARM_INTERN_BUDGET,
+        "warm intern allocated {warm_intern} times, budget {WARM_INTERN_BUDGET} \
+         (one canonical-text String plus headroom)"
+    );
+    assert!(
+        cold <= COLD_COMPILE_BUDGET,
+        "cold compile allocated {cold} times, budget {COLD_COMPILE_BUDGET}"
+    );
+}
+
+/// Measured: 1 allocation per warm intern (the canonicalized key) and
+/// 7 for the cold parse+compile of the three-term fixture. The budgets
+/// sit ~50% above measured: tight enough that a per-term
+/// interpretation sneaking into the hit path (10x+) fails immediately.
+const WARM_INTERN_BUDGET: u64 = 2;
+const COLD_COMPILE_BUDGET: u64 = 12;
+
 /// Measured: ~900 allocations per case on the fixed slice above (9
 /// profile evaluations plus two reference expansions of every macro
 /// string in the case). The budget sits ~50% above the measured value:

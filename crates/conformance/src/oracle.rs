@@ -29,7 +29,7 @@ use spfail_spf::expand::{
 };
 use spfail_spf::macrostring::{MacroString, MacroToken, MacroTransform};
 use spfail_spf::record::{MechanismKind, Modifier, SpfRecord};
-use spfail_spf::{Evaluator, SpfDns, SpfResult, TraceEvent};
+use spfail_spf::{CompiledEvaluator, Evaluator, PolicyCache, SpfDns, SpfResult, TraceEvent};
 
 use crate::case::ConformanceCase;
 
@@ -160,6 +160,82 @@ pub fn eval_profile(case: &ConformanceCase, behavior: MacroBehavior) -> ProfileO
             }
         }
     }
+}
+
+/// Run `check_host` for `case` through the compiled-policy evaluator,
+/// interning into (and memoizing through) `cache`.
+fn run_eval_compiled<E: MacroExpander>(
+    case: &ConformanceCase,
+    expander: &mut E,
+    cache: &mut PolicyCache,
+) -> (SpfResult, Vec<(String, RecordType)>, Option<String>) {
+    let mut dns = FixtureDns::new(case);
+    let mut eval = CompiledEvaluator::new(&mut dns, expander, cache);
+    let result = eval.check_host(case.client_ip, &case.sender_local, &case.sender_domain);
+    let queries = eval
+        .trace()
+        .iter()
+        .filter_map(|event| match event {
+            TraceEvent::Query { name, rtype } => Some((name.to_ascii(), *rtype)),
+            _ => None,
+        })
+        .collect();
+    let explanation = eval.explanation().map(str::to_string);
+    (result, queries, explanation)
+}
+
+/// Differential check of the compiled-policy evaluator against the
+/// interpretive [`Evaluator`]: every profile, evaluated on a cold cache
+/// and again on the warm cache (so the result-memo replay path is
+/// exercised, not just compilation). Compares the full observable
+/// surface the paper's fingerprints live in — verdict, DNS query
+/// sequence *as spelled*, and the `exp=` explanation. Returns
+/// human-readable divergences; equivalence is the empty vector.
+pub fn diff_compiled(case: &ConformanceCase) -> Vec<String> {
+    let mut divergences = Vec::new();
+    let mut check = |behavior: MacroBehavior| {
+        let reference = eval_profile(case, behavior);
+        let mut cache = PolicyCache::new();
+        for pass in ["cold", "warm"] {
+            let (result, queries, explanation) = match behavior {
+                MacroBehavior::VulnerableLibSpf2 | MacroBehavior::PatchedLibSpf2 => {
+                    let mut expander = if behavior.is_vulnerable() {
+                        LibSpf2Expander::vulnerable()
+                    } else {
+                        LibSpf2Expander::patched()
+                    };
+                    run_eval_compiled(case, &mut expander, &mut cache)
+                }
+                _ => {
+                    let mut expander = behavior.expander();
+                    run_eval_compiled(case, &mut expander, &mut cache)
+                }
+            };
+            if result != reference.result {
+                divergences.push(format!(
+                    "[{behavior:?}/{pass}] result {result:?} != interpretive {:?}",
+                    reference.result
+                ));
+            }
+            if queries != reference.queries {
+                divergences.push(format!(
+                    "[{behavior:?}/{pass}] queries {queries:?} != interpretive {:?}",
+                    reference.queries
+                ));
+            }
+            if explanation != reference.explanation {
+                divergences.push(format!(
+                    "[{behavior:?}/{pass}] explanation {explanation:?} != interpretive {:?}",
+                    reference.explanation
+                ));
+            }
+        }
+    };
+    check(MacroBehavior::Compliant);
+    for &behavior in PROFILES {
+        check(behavior);
+    }
+    divergences
 }
 
 /// Divergence-relevant properties of one reference expansion.

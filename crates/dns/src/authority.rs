@@ -11,6 +11,7 @@ use spfail_netsim::SimTime;
 use crate::message::{Message, Rcode};
 use crate::name::Name;
 use crate::querylog::{QueryLog, QueryLogEntry};
+use crate::rdata::RecordType;
 use crate::zone::{Zone, ZoneAnswer};
 
 /// Something that can authoritatively answer DNS queries.
@@ -20,6 +21,29 @@ pub trait Authority: Send + Sync {
 
     /// Answer `query` received from `source` at simulated time `now`.
     fn answer(&self, query: &Message, source: IpAddr, now: SimTime) -> Message;
+
+    /// Whether a memoized evaluation may *replay* queries against this
+    /// authority instead of re-answering them.
+    ///
+    /// Replaying skips [`Authority::answer`] — no message is built or
+    /// encoded — so it is only transparent when query logging is this
+    /// authority's sole answer-path side effect, reproducible through
+    /// [`Authority::log_replayed_query`]. Authorities with richer taps
+    /// (e.g. a pcap capture of the full exchange) must return `false`,
+    /// which keeps every query on the live path. The conservative default
+    /// is `false`.
+    fn replay_loggable(&self) -> bool {
+        false
+    }
+
+    /// Record a replayed query exactly as the answer path would have.
+    ///
+    /// Called instead of [`Authority::answer`] when a cached evaluation is
+    /// replayed; implementations that log queries append the same entry the
+    /// live path appends. Only invoked when [`Authority::replay_loggable`]
+    /// returned `true` at memoization time.
+    fn log_replayed_query(&self, _qname: &Name, _qtype: RecordType, _source: IpAddr, _now: SimTime) {
+    }
 }
 
 /// An authority serving a single static [`Zone`], optionally logging every
@@ -52,6 +76,21 @@ impl StaticAuthority {
 impl Authority for StaticAuthority {
     fn origin(&self) -> &Name {
         self.zone.origin()
+    }
+
+    fn replay_loggable(&self) -> bool {
+        true
+    }
+
+    fn log_replayed_query(&self, qname: &Name, qtype: RecordType, source: IpAddr, now: SimTime) {
+        if let Some(log) = &self.log {
+            log.record(QueryLogEntry {
+                at: now,
+                source,
+                qname: qname.clone(),
+                qtype,
+            });
+        }
     }
 
     fn answer(&self, query: &Message, source: IpAddr, now: SimTime) -> Message {

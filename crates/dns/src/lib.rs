@@ -42,7 +42,9 @@ pub use name::{Name, NameError};
 pub use pcap::{PcapSink, PcapWriter};
 pub use querylog::{QueryLog, QueryLogEntry};
 pub use rdata::{RData, Record, RecordClass, RecordType};
-pub use resolver::{Directory, LookupError, LookupOutcome, Resolver, ResolverConfig};
+pub use resolver::{
+    Directory, LookupError, LookupOutcome, Resolver, ResolverConfig, Transcript, TranscriptStep,
+};
 pub use spftest::SpfTestAuthority;
 pub use zone::{Zone, ZoneBuilder};
 pub use zonefile::{parse_zone, render_zone, ZoneFileError};

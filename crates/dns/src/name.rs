@@ -261,6 +261,38 @@ impl Name {
         self.wire_bytes().len() + 1
     }
 
+    /// A copy of this name with `replacement` written at each wire
+    /// byte `offset` (0 = this name's first length octet). Every target
+    /// range must lie inside a single label's content bytes and the
+    /// replacement must be valid label bytes — callers splice a recorded
+    /// probe id for a same-length one, so both invariants hold by
+    /// construction. This re-instantiates a memoized name without
+    /// re-parsing its dotted spelling.
+    pub fn splice_content(&self, offsets: &[u16], replacement: &[u8]) -> Name {
+        debug_assert!(replacement.iter().all(|&b| Self::check_byte(b).is_ok()));
+        let mut wire = self.wire_bytes().to_vec();
+        #[cfg(debug_assertions)]
+        for &offset in offsets {
+            let (at, end) = (offset as usize, offset as usize + replacement.len());
+            let mut pos = 0usize; // walk the framing: each label's length octet
+            let mut ok = false;
+            while pos < wire.len() {
+                let content = pos + 1..pos + 1 + wire[pos] as usize;
+                if content.start <= at && end <= content.end {
+                    ok = true;
+                    break;
+                }
+                pos = content.end;
+            }
+            debug_assert!(ok, "splice range {at}..{end} crosses label framing");
+        }
+        for &offset in offsets {
+            let at = offset as usize;
+            wire[at..at + replacement.len()].copy_from_slice(replacement);
+        }
+        Self::from_wire_unchecked(&wire)
+    }
+
     /// Number of labels (the root has zero).
     pub fn label_count(&self) -> usize {
         self.labels().count()

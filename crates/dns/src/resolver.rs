@@ -180,6 +180,47 @@ struct CacheEntry {
     outcome: LookupOutcome,
 }
 
+/// One resolver exchange recorded while a memoized evaluation candidate
+/// is being captured (see [`Resolver::begin_transcript`]).
+#[derive(Debug, Clone)]
+pub struct TranscriptStep {
+    /// The question name as asked.
+    pub name: Name,
+    /// The question type.
+    pub rtype: RecordType,
+    /// Whether the resolver's TTL cache answered (no authority contact).
+    pub cache_hit: bool,
+    /// The outcome handed to the caller.
+    pub outcome: LookupOutcome,
+}
+
+impl TranscriptStep {
+    /// The trace-span outcome label the live path emitted for this step.
+    pub fn outcome_label(&self) -> &'static str {
+        match &self.outcome {
+            LookupOutcome::Records(_) => "ok",
+            LookupOutcome::NxDomain => "nxdomain",
+            LookupOutcome::NoRecords => "nodata",
+        }
+    }
+}
+
+/// A capture of every exchange a resolver performed, used to decide
+/// whether an evaluation is replayable and to validate its replay script.
+///
+/// `clean` is true only when every [`Resolver::resolve`] call mapped to
+/// exactly one cache hit or one single-attempt authoritative exchange —
+/// no errors, retries, truncation fallbacks, CNAME chains, or authorities
+/// that cannot transparently log replayed queries. Anything else makes
+/// the evaluation unreplayable and it stays on the live path forever.
+#[derive(Debug, Clone, Default)]
+pub struct Transcript {
+    /// The exchanges, in order.
+    pub steps: Vec<TranscriptStep>,
+    /// Whether every exchange is replayable (see type docs).
+    pub clean: bool,
+}
+
 /// A caching resolver bound to one client address.
 pub struct Resolver {
     directory: Directory,
@@ -190,6 +231,7 @@ pub struct Resolver {
     metrics: Metrics,
     tracer: Tracer,
     next_id: u16,
+    transcript: Option<Transcript>,
 }
 
 impl Resolver {
@@ -215,6 +257,7 @@ impl Resolver {
             metrics,
             tracer: Tracer::disabled(),
             next_id: 1,
+            transcript: None,
         }
     }
 
@@ -234,8 +277,99 @@ impl Resolver {
         self.cache.clear();
     }
 
+    /// Whether the TTL cache holds no entries at all (live or expired).
+    ///
+    /// Memoized-evaluation capture and replay both require a cold cache:
+    /// with a warm one, which queries reach the authority depends on what
+    /// an earlier evaluation left behind, and the recorded exchange
+    /// sequence would not transfer.
+    pub fn cache_is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The link queries are charged to.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// Start recording a [`Transcript`] of every subsequent exchange.
+    pub fn begin_transcript(&mut self) {
+        self.transcript = Some(Transcript {
+            steps: Vec::new(),
+            clean: true,
+        });
+    }
+
+    /// Stop recording and hand back the transcript, if one was started.
+    pub fn take_transcript(&mut self) -> Option<Transcript> {
+        self.transcript.take()
+    }
+
+    /// Re-emit the observable effects of one recorded clean exchange
+    /// without doing its work.
+    ///
+    /// A cache-hit step ticks the cache-hit counter; a live step charges
+    /// the query datagram to the link and logs the query with the
+    /// authority via [`Authority::log_replayed_query`]. Both emit the same
+    /// `dns_resolve` trace span the live path emits. Skipped entirely:
+    /// message build, wire encode/decode, zone walk, and the resolver's
+    /// own TTL-cache bookkeeping (replayed answers are never cached, which
+    /// is unobservable — and `cache_is_empty` gating depends on it).
+    pub fn replay_resolve(
+        &mut self,
+        rng: &mut SimRng,
+        name: &Name,
+        rtype: RecordType,
+        cache_hit: bool,
+        outcome_label: &'static str,
+    ) {
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.tracer
+                .enter_labeled(self.link.clock().now(), SpanKind::DnsResolve, || {
+                    format!("{rtype} {name}")
+                });
+        }
+        if cache_hit {
+            self.metrics.inc_dns_cache_hits();
+        } else {
+            self.metrics.inc_dns_queries();
+            let _ = self
+                .link
+                .datagram(rng, estimate_query_size(name), self.config.query_timeout);
+            if let Some(authority) = self.directory.authority_for(name) {
+                authority.log_replayed_query(name, rtype, self.client, self.link.clock().now());
+            }
+        }
+        if traced {
+            self.tracer
+                .exit(self.link.clock().now(), SpanKind::DnsResolve, outcome_label);
+        }
+    }
+
     /// Resolve `name`/`rtype`, following CNAME chains.
     pub fn resolve(
+        &mut self,
+        rng: &mut SimRng,
+        name: &Name,
+        rtype: RecordType,
+    ) -> Result<LookupOutcome, LookupError> {
+        let steps_before = self.transcript.as_ref().map(|t| t.steps.len());
+        let result = self.resolve_traced(rng, name, rtype);
+        if let Some(before) = steps_before {
+            if let Some(t) = &mut self.transcript {
+                // A replayable resolve is exactly one recorded exchange;
+                // errors and CNAME chains (multiple hops per resolve) are
+                // not transferable to another probe's names.
+                if result.is_err() || t.steps.len() != before + 1 {
+                    t.clean = false;
+                }
+            }
+        }
+        result
+    }
+
+    fn resolve_traced(
         &mut self,
         rng: &mut SimRng,
         name: &Name,
@@ -322,6 +456,14 @@ impl Resolver {
             if let Some(entry) = self.cache.get(&key) {
                 if entry.expires > now {
                     self.metrics.inc_dns_cache_hits();
+                    if let Some(t) = &mut self.transcript {
+                        t.steps.push(TranscriptStep {
+                            name: name.clone(),
+                            rtype,
+                            cache_hit: true,
+                            outcome: entry.outcome.clone(),
+                        });
+                    }
                     return Ok(entry.outcome.clone());
                 }
                 self.cache.remove(&key);
@@ -379,6 +521,11 @@ impl Resolver {
             // TCP handshake + the re-sent query and full response.
             let _ = self.link.turn(rng, estimate_query_size(name));
             let _ = self.link.turn(rng, wire_len);
+            if let Some(t) = &mut self.transcript {
+                // The TCP fallback's turns depend on the response's wire
+                // size; a replay works with names, not responses.
+                t.clean = false;
+            }
         }
 
         let outcome = match response.header.rcode {
@@ -394,6 +541,21 @@ impl Resolver {
             Rcode::NxDomain => LookupOutcome::NxDomain,
             other => return Err(LookupError::ServFail(other)),
         };
+
+        if let Some(t) = &mut self.transcript {
+            // A retried exchange charged extra datagrams, and an authority
+            // with answer-path side effects beyond its query log (pcap)
+            // cannot reproduce them on replay.
+            if attempts != 1 || !authority.replay_loggable() {
+                t.clean = false;
+            }
+            t.steps.push(TranscriptStep {
+                name: name.clone(),
+                rtype,
+                cache_hit: false,
+                outcome: outcome.clone(),
+            });
+        }
 
         if self.config.cache_enabled {
             let ttl = match &outcome {

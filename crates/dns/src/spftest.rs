@@ -116,6 +116,22 @@ impl Authority for SpfTestAuthority {
         &self.origin
     }
 
+    /// Replay is transparent here only while the query log is the sole
+    /// side effect; a pcap sink captures whole messages, which a replayed
+    /// query never builds.
+    fn replay_loggable(&self) -> bool {
+        self.pcap.is_none()
+    }
+
+    fn log_replayed_query(&self, qname: &Name, qtype: RecordType, source: IpAddr, now: SimTime) {
+        self.log.record(QueryLogEntry {
+            at: now,
+            source,
+            qname: qname.clone(),
+            qtype,
+        });
+    }
+
     fn answer(&self, query: &Message, source: IpAddr, now: SimTime) -> Message {
         let response = self.answer_inner(query, source, now);
         if let Some(pcap) = &self.pcap {

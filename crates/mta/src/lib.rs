@@ -20,4 +20,4 @@ pub mod config;
 pub mod mta;
 
 pub use config::{ConnectPolicy, MtaConfig, SmtpQuirk, SpfStage};
-pub use mta::{Mta, ValidationRecord};
+pub use mta::{new_policy_cache, Mta, PolicyCacheHandle, ValidationRecord};

@@ -2,17 +2,35 @@
 
 use std::collections::HashSet;
 use std::net::IpAddr;
+use std::sync::Arc;
 
-use spfail_dns::resolver::{LookupError, LookupOutcome};
-use spfail_dns::{Directory, Name, RecordType, Resolver};
-use spfail_netsim::{Link, SimClock, SimRng, SimTime};
+use parking_lot::Mutex;
+
+use spfail_dns::resolver::{LookupError, LookupOutcome, Transcript};
+use spfail_dns::{Directory, Name, RData, Record, RecordType, Resolver};
+use spfail_netsim::{LatencyModel, Link, SimClock, SimRng, SimTime};
 use spfail_smtp::address::EmailAddress;
 use spfail_smtp::reply::Reply;
 use spfail_smtp::session::{ServerPolicy, ServerSession};
+use spfail_spf::compile::{
+    splice_id, templatize, CompiledEvaluator, PolicyCache, ScriptEntry, ScriptKey, ScriptStep,
+};
 use spfail_spf::eval::{Evaluator, SpfDns};
 use spfail_spf::result::SpfResult;
 
 use crate::config::{ConnectPolicy, MtaConfig, SmtpQuirk, SpfStage};
+
+/// A shard-shared handle to the compiled-policy evaluation cache.
+///
+/// One handle is created per shard worker and threaded into every MTA the
+/// shard builds; the cache itself is purely derived state and is never
+/// serialized into campaign checkpoints.
+pub type PolicyCacheHandle = Arc<Mutex<PolicyCache>>;
+
+/// A fresh, empty [`PolicyCacheHandle`] for one shard worker.
+pub fn new_policy_cache() -> PolicyCacheHandle {
+    Arc::new(Mutex::new(PolicyCache::new()))
+}
 
 /// One SPF validation the MTA performed, for post-hoc inspection.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +70,12 @@ pub struct Mta {
     peer: IpAddr,
     pending_sender: Option<EmailAddress>,
     validations: Vec<ValidationRecord>,
+    /// Shard-shared compiled-policy cache; `None` runs the original
+    /// interpretive evaluation loop.
+    policy_cache: Option<Arc<Mutex<PolicyCache>>>,
+    /// The implementation-mix token of [`ScriptKey::impls`], joined once
+    /// at construction so per-validation cache lookups borrow it.
+    impls_label: String,
 }
 
 /// What `connect()` decided.
@@ -90,6 +114,12 @@ impl Mta {
         clock: SimClock,
         rng: SimRng,
     ) -> Mta {
+        let impls_label = config
+            .spf_impls
+            .iter()
+            .map(|b| b.label())
+            .collect::<Vec<_>>()
+            .join(",");
         Mta {
             resolver: Resolver::new(directory, dns_link, ip),
             config,
@@ -102,7 +132,16 @@ impl Mta {
             peer: ip,
             pending_sender: None,
             validations: Vec::new(),
+            policy_cache: None,
+            impls_label,
         }
+    }
+
+    /// Attach the shard's shared [`PolicyCache`]. SPF validation then runs
+    /// through the compiled evaluator and, where provably transparent,
+    /// replays whole memoized evaluations instead of re-doing their work.
+    pub fn set_policy_cache(&mut self, cache: Arc<Mutex<PolicyCache>>) {
+        self.policy_cache = Some(cache);
     }
 
     /// Attach a tracing handle to the MTA's resolver so the DNS lookups
@@ -180,6 +219,14 @@ impl Mta {
     /// implementation; returns the reply that should reject the mail, if
     /// any.
     fn run_spf(&mut self, sender: &EmailAddress) -> Option<Reply> {
+        match self.policy_cache.clone() {
+            None => self.run_spf_interpretive(sender),
+            Some(cache) => self.run_spf_cached(sender, &cache),
+        }
+    }
+
+    /// The original interpretive evaluation loop — the cache-off baseline.
+    fn run_spf_interpretive(&mut self, sender: &EmailAddress) -> Option<Reply> {
         let impls = self.config.spf_impls.clone();
         let mut reject: Option<Reply> = None;
         for behavior in impls {
@@ -192,25 +239,413 @@ impl Mta {
                 let mut eval = Evaluator::new(&mut dns, &mut expander);
                 eval.check_host(self.peer, sender.local(), sender.domain())
             };
-            self.validations.push(ValidationRecord {
-                implementation: expander.describe(),
-                result,
-                at: self.clock.now(),
-            });
-            if reject.is_none() {
-                reject = match result {
-                    SpfResult::Fail if self.config.reject_on_spf_fail => {
-                        Some(Reply::spf_rejected(sender.domain()))
-                    }
-                    SpfResult::TempError => {
-                        Some(Reply::new(451, "Temporary SPF validation failure"))
-                    }
-                    _ => None,
+            reject = self.record_validation(sender, reject, expander.describe(), result);
+        }
+        reject
+    }
+
+    /// Record one implementation's verdict and fold it into the pending
+    /// reject decision, exactly as the interpretive loop always has.
+    fn record_validation(
+        &mut self,
+        sender: &EmailAddress,
+        reject: Option<Reply>,
+        implementation: &'static str,
+        result: SpfResult,
+    ) -> Option<Reply> {
+        self.validations.push(ValidationRecord {
+            implementation,
+            result,
+            at: self.clock.now(),
+        });
+        if reject.is_some() {
+            return reject;
+        }
+        match result {
+            SpfResult::Fail if self.config.reject_on_spf_fail => {
+                Some(Reply::spf_rejected(sender.domain()))
+            }
+            SpfResult::TempError => Some(Reply::new(451, "Temporary SPF validation failure")),
+            _ => None,
+        }
+    }
+
+    /// Cache-backed validation: replay a memoized evaluation when one
+    /// exists for this probe shape, otherwise evaluate live through the
+    /// compiled evaluator and — when the exchange was provably clean —
+    /// record a validated replay script for the next same-shape probe.
+    fn run_spf_cached(
+        &mut self,
+        sender: &EmailAddress,
+        cache: &Arc<Mutex<PolicyCache>>,
+    ) -> Option<Reply> {
+        let shape = self.script_shape(sender);
+        let record_candidate = match shape {
+            Some((id, domain_rest)) => {
+                let entry = cache.lock().script_for(
+                    id.len(),
+                    domain_rest,
+                    sender.local(),
+                    self.peer,
+                    &self.impls_label,
+                );
+                if let Some(entry) = entry {
+                    return self.replay_script(sender, id, &entry);
+                }
+                true
+            }
+            None => {
+                // A gate closed (warm resolver cache, latency, faults, or
+                // a non-probe sender shape): the evaluation is live and
+                // unmemoizable, but still runs compiled.
+                cache.lock().note_miss();
+                false
+            }
+        };
+
+        if record_candidate {
+            self.resolver.begin_transcript();
+        }
+        let impls = self.config.spf_impls.clone();
+        let mut results: Vec<(&'static str, SpfResult)> = Vec::with_capacity(impls.len());
+        let mut reject: Option<Reply> = None;
+        for behavior in impls {
+            let mut expander = behavior.expander();
+            let result = {
+                let mut guard = cache.lock();
+                let mut dns = ResolverDns {
+                    resolver: &mut self.resolver,
+                    rng: &mut self.rng,
                 };
+                let mut eval = CompiledEvaluator::new(&mut dns, &mut expander, &mut guard);
+                eval.check_host(self.peer, sender.local(), sender.domain())
+            };
+            results.push((expander.describe(), result));
+            reject = self.record_validation(sender, reject, expander.describe(), result);
+        }
+        if let Some(transcript) = self.resolver.take_transcript() {
+            if transcript.clean {
+                let (id, domain_rest) = shape.expect("transcript implies shape");
+                let key = ScriptKey {
+                    id_len: id.len(),
+                    domain_rest: domain_rest.to_string(),
+                    sender_local: sender.local().to_string(),
+                    client_ip: self.peer,
+                    impls: self.impls_label.clone(),
+                };
+                if let Some(entry) = self.build_script(sender, &key, &transcript, &results) {
+                    cache.lock().insert_script(key, entry);
+                }
             }
         }
         reject
     }
+
+    /// The replay-script shape of `sender` — its probe id and the rest of
+    /// the domain (leading dot included) — or `None` when any transparency
+    /// gate is closed. The gates guarantee that replaying a recorded
+    /// exchange is observably identical to performing it: a cold resolver
+    /// cache (which queries happen must not depend on earlier leftovers),
+    /// a zero-latency faultless link (no clock advance, no randomness, no
+    /// divergent outcomes during evaluation), and a probe-shaped sender
+    /// domain whose first label is the unique id.
+    fn script_shape<'s>(&self, sender: &'s EmailAddress) -> Option<(&'s str, &'s str)> {
+        if !self.resolver.cache_is_empty() {
+            return None;
+        }
+        let link = self.resolver.link();
+        if *link.latency() != LatencyModel::ZERO || link.faults().is_active() {
+            return None;
+        }
+        let domain = sender.domain();
+        let (id, rest) = domain.split_once('.')?;
+        if id.is_empty() || rest.is_empty() {
+            return None;
+        }
+        if !id.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()) {
+            return None;
+        }
+        let domain_rest = &domain[id.len()..];
+        // The id must not collide with any other text the evaluation can
+        // observe, or the recorded templates would hole non-id content.
+        if domain_rest.contains(id) || sender.local().contains(id) {
+            return None;
+        }
+        Some((id, domain_rest))
+    }
+
+    /// Replay a memoized evaluation: re-emit every DNS exchange's
+    /// observable effects (query log, link charge, metrics, trace span),
+    /// then push the recorded verdicts and derive the reject reply from
+    /// the *current* configuration. Splicing `id` over the recorded wire
+    /// names cannot fail — ids are keyed by length and validated bytes.
+    fn replay_script(
+        &mut self,
+        sender: &EmailAddress,
+        id: &str,
+        entry: &ScriptEntry,
+    ) -> Option<Reply> {
+        for step in &entry.steps {
+            let name = step.qname_for(id);
+            self.resolver.replay_resolve(
+                &mut self.rng,
+                &name,
+                step.rtype,
+                step.cache_hit,
+                step.outcome_label,
+            );
+        }
+        let mut reject: Option<Reply> = None;
+        for (implementation, result) in &entry.results {
+            reject = self.record_validation(sender, reject, implementation, *result);
+        }
+        reject
+    }
+
+    /// Turn a clean transcript into a validated [`ScriptEntry`], or `None`
+    /// if the evaluation does not generalise over the probe id. Every
+    /// name and record string is templatized over the id (refusing
+    /// non-label-aligned occurrences), then the whole multi-implementation
+    /// evaluation is re-run — side-effect-free — against the templates
+    /// spliced for a *different* same-length id. Only when that shadow run
+    /// asks exactly the spliced questions and reaches exactly the same
+    /// verdicts is the script accepted; any id-specific behaviour fails
+    /// the shadow run and the probe shape simply stays live.
+    fn build_script(
+        &self,
+        sender: &EmailAddress,
+        key: &ScriptKey,
+        transcript: &Transcript,
+        results: &[(&'static str, SpfResult)],
+    ) -> Option<ScriptEntry> {
+        let id = sender.domain().split_once('.').map(|(id, _)| id)?;
+        let shadow = rotate_id(id);
+        if shadow == id || key.domain_rest.contains(&shadow) || key.sender_local.contains(&shadow)
+        {
+            return None;
+        }
+        let mut steps = Vec::with_capacity(transcript.steps.len());
+        let mut shadow_steps = Vec::with_capacity(transcript.steps.len());
+        for step in &transcript.steps {
+            let ascii = step.name.to_ascii();
+            if !aligned_occurrences_only(&ascii, id) {
+                return None;
+            }
+            let qname = templatize(&ascii, id)?;
+            let outcome = templatize_outcome(&step.outcome, id)?;
+            shadow_steps.push((qname, step.rtype, outcome));
+            steps.push(ScriptStep {
+                qname: step.name.clone(),
+                id_offsets: id_wire_offsets(&ascii, id),
+                rtype: step.rtype,
+                cache_hit: step.cache_hit,
+                outcome_label: step.outcome_label(),
+            });
+        }
+
+        let shadow_domain = format!("{shadow}{}", key.domain_rest);
+        let cursor = std::cell::Cell::new(0usize);
+        let diverged = std::cell::Cell::new(false);
+        let mut dns = |name: &Name, rtype: RecordType| -> Result<LookupOutcome, LookupError> {
+            let i = cursor.get();
+            cursor.set(i + 1);
+            let Some((qname, want_rtype, outcome)) = shadow_steps.get(i) else {
+                diverged.set(true);
+                return Err(LookupError::Timeout);
+            };
+            if rtype != *want_rtype || name.to_ascii() != splice_id(qname, &shadow) {
+                diverged.set(true);
+                return Err(LookupError::Timeout);
+            }
+            match splice_outcome(outcome, &shadow) {
+                Some(outcome) => Ok(outcome),
+                None => {
+                    diverged.set(true);
+                    Err(LookupError::Timeout)
+                }
+            }
+        };
+        for (i, behavior) in self.config.spf_impls.iter().enumerate() {
+            let mut expander = behavior.expander();
+            let verdict = {
+                let mut eval = Evaluator::new(&mut dns, &mut expander);
+                eval.check_host(self.peer, &key.sender_local, &shadow_domain)
+            };
+            if diverged.get() || results.get(i).map(|(_, r)| *r) != Some(verdict) {
+                return None;
+            }
+        }
+        if diverged.get() || cursor.get() != shadow_steps.len() {
+            return None;
+        }
+        Some(ScriptEntry {
+            steps,
+            results: results.to_vec(),
+        })
+    }
+}
+
+/// A deterministic same-length, same-alphabet id distinct from `id`, used
+/// to shadow-validate replay scripts.
+fn rotate_id(id: &str) -> String {
+    id.chars()
+        .map(|c| match c {
+            'z' => 'a',
+            '9' => '0',
+            'a'..='y' | '0'..='8' => (c as u8 + 1) as char,
+            other => other,
+        })
+        .collect()
+}
+
+/// Wire-byte offsets (as [`Name::splice_content`] counts them) of each
+/// `id` occurrence in a name's dotted spelling. Every ascii index shifts
+/// by exactly one in wire form: each inter-label dot becomes the next
+/// label's length octet and the first label gains its own. Occurrences
+/// never overlap — [`aligned_occurrences_only`] has already rejected any
+/// id adjacent to alphanumeric text.
+fn id_wire_offsets(ascii: &str, id: &str) -> Vec<u16> {
+    let mut offsets = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = ascii[from..].find(id) {
+        let at = from + pos;
+        offsets.push((at + 1) as u16);
+        from = at + id.len();
+    }
+    offsets
+}
+
+/// Whether every occurrence of `id` in `text` sits on label boundaries
+/// (adjacent characters are absent or non-alphanumeric). A mid-label
+/// occurrence means `id` collides with unrelated content and templating
+/// it would corrupt the replay.
+fn aligned_occurrences_only(text: &str, id: &str) -> bool {
+    let bytes = text.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(id) {
+        let at = from + pos;
+        let end = at + id.len();
+        let before_ok = at == 0 || !bytes[at - 1].is_ascii_alphanumeric();
+        let after_ok = end == bytes.len() || !bytes[end].is_ascii_alphanumeric();
+        if !before_ok || !after_ok {
+            return false;
+        }
+        from = at + 1;
+    }
+    true
+}
+
+/// A recorded lookup outcome with the probe id excised — used only while
+/// shadow-validating a script, never stored.
+enum OutcomeTemplate {
+    Records(Vec<(String, u32, RDataTemplate)>),
+    NxDomain,
+    NoRecords,
+}
+
+enum RDataTemplate {
+    /// Record data with no id occurrence anywhere; reused verbatim.
+    Plain(RData),
+    Txt(Vec<String>),
+    Mx { preference: u16, exchange: String },
+    Cname(String),
+    Ns(String),
+    Ptr(String),
+}
+
+fn templatize_outcome(outcome: &LookupOutcome, id: &str) -> Option<OutcomeTemplate> {
+    Some(match outcome {
+        LookupOutcome::NxDomain => OutcomeTemplate::NxDomain,
+        LookupOutcome::NoRecords => OutcomeTemplate::NoRecords,
+        LookupOutcome::Records(records) => OutcomeTemplate::Records(
+            records
+                .iter()
+                .map(|r| {
+                    let name = r.name.to_ascii();
+                    if !aligned_occurrences_only(&name, id) {
+                        return None;
+                    }
+                    Some((templatize(&name, id)?, r.ttl, templatize_rdata(&r.rdata, id)?))
+                })
+                .collect::<Option<Vec<_>>>()?,
+        ),
+    })
+}
+
+fn templatize_rdata(rdata: &RData, id: &str) -> Option<RDataTemplate> {
+    let t = |s: &str| -> Option<String> {
+        if !aligned_occurrences_only(s, id) {
+            return None;
+        }
+        templatize(s, id)
+    };
+    Some(match rdata {
+        RData::Txt(parts) => {
+            RDataTemplate::Txt(parts.iter().map(|p| t(p)).collect::<Option<Vec<_>>>()?)
+        }
+        RData::Mx {
+            preference,
+            exchange,
+        } => RDataTemplate::Mx {
+            preference: *preference,
+            exchange: t(&exchange.to_ascii())?,
+        },
+        RData::Cname(name) => RDataTemplate::Cname(t(&name.to_ascii())?),
+        RData::Ns(name) => RDataTemplate::Ns(t(&name.to_ascii())?),
+        RData::Ptr(name) => RDataTemplate::Ptr(t(&name.to_ascii())?),
+        RData::Soa(soa) => {
+            if soa.mname.to_ascii().contains(id) || soa.rname.to_ascii().contains(id) {
+                return None;
+            }
+            RDataTemplate::Plain(rdata.clone())
+        }
+        RData::Opaque(bytes) => {
+            if bytes.windows(id.len()).any(|w| w == id.as_bytes()) {
+                return None;
+            }
+            RDataTemplate::Plain(rdata.clone())
+        }
+        other => RDataTemplate::Plain(other.clone()),
+    })
+}
+
+fn splice_outcome(template: &OutcomeTemplate, id: &str) -> Option<LookupOutcome> {
+    Some(match template {
+        OutcomeTemplate::NxDomain => LookupOutcome::NxDomain,
+        OutcomeTemplate::NoRecords => LookupOutcome::NoRecords,
+        OutcomeTemplate::Records(records) => LookupOutcome::Records(
+            records
+                .iter()
+                .map(|(name, ttl, rdata)| {
+                    Some(Record::new(
+                        Name::parse(&splice_id(name, id)).ok()?,
+                        *ttl,
+                        splice_rdata(rdata, id)?,
+                    ))
+                })
+                .collect::<Option<Vec<_>>>()?
+                .into(),
+        ),
+    })
+}
+
+fn splice_rdata(template: &RDataTemplate, id: &str) -> Option<RData> {
+    Some(match template {
+        RDataTemplate::Plain(rdata) => rdata.clone(),
+        RDataTemplate::Txt(parts) => {
+            RData::Txt(parts.iter().map(|p| splice_id(p, id)).collect())
+        }
+        RDataTemplate::Mx {
+            preference,
+            exchange,
+        } => RData::Mx {
+            preference: *preference,
+            exchange: Name::parse(&splice_id(exchange, id)).ok()?,
+        },
+        RDataTemplate::Cname(name) => RData::Cname(Name::parse(&splice_id(name, id)).ok()?),
+        RDataTemplate::Ns(name) => RData::Ns(Name::parse(&splice_id(name, id)).ok()?),
+        RDataTemplate::Ptr(name) => RData::Ptr(Name::parse(&splice_id(name, id)).ok()?),
+    })
 }
 
 impl ServerPolicy for &mut Mta {
@@ -437,6 +872,85 @@ mod tests {
         assert!(first_labels.contains(&Some("org")), "vulnerable pattern present");
         assert!(first_labels.contains(&Some("other")), "compliant pattern present");
         assert_eq!(m.validations().len(), 2);
+    }
+
+    #[test]
+    fn policy_cache_replay_is_query_log_identical_to_live() {
+        // Two hosts in one shard share a PolicyCache; the second probe of
+        // the same shape must replay, and the world's query log must be
+        // byte-identical to a cache-off world probing the same ids.
+        let addr1 = "mmj7yzdm0tbk@k7q2.s01.spf-test.dns-lab.org";
+        let addr2 = "mmj7yzdm0tbk@x9f3.s01.spf-test.dns-lab.org";
+        let run = |cache: Option<Arc<parking_lot::Mutex<PolicyCache>>>| {
+            let (directory, log, clock) = setup();
+            let mut logs = Vec::new();
+            let mut validations = Vec::new();
+            for (i, addr) in [addr1, addr2].iter().enumerate() {
+                let mut config = MtaConfig::vulnerable("mx.victim.test");
+                config.spf_impls = vec![
+                    spfail_libspf2::MacroBehavior::VulnerableLibSpf2,
+                    spfail_libspf2::MacroBehavior::Compliant,
+                ];
+                let mut m = Mta::new(
+                    config,
+                    format!("198.51.100.{}", 10 + i).parse().unwrap(),
+                    directory.clone(),
+                    clock.clone(),
+                    SimRng::new(7),
+                );
+                if let Some(cache) = &cache {
+                    m.set_policy_cache(Arc::clone(cache));
+                }
+                m.connect("203.0.113.9".parse().unwrap());
+                let (mut session, _) = m.open_session();
+                session.handle(&Command::Ehlo("probe.dns-lab.org".into()));
+                session.handle(&Command::MailFrom(EmailAddress::parse(addr).unwrap()));
+                logs.push(
+                    log.snapshot()
+                        .iter()
+                        .map(|e| format!("{} {} {:?} {}", e.at.as_micros(), e.source, e.qtype, e.qname))
+                        .collect::<Vec<_>>(),
+                );
+                log.clear();
+                validations.push(m.validations().to_vec());
+            }
+            (logs, validations)
+        };
+        let cache = Arc::new(parking_lot::Mutex::new(PolicyCache::new()));
+        let cached = run(Some(Arc::clone(&cache)));
+        let baseline = run(None);
+        assert_eq!(cached, baseline, "cache on/off worlds must be observably identical");
+        let stats = cache.lock().stats();
+        assert_eq!(stats.hits, 1, "second probe replays");
+        assert!(stats.interned >= 1, "probe policies interned");
+    }
+
+    #[test]
+    fn policy_cache_colliding_id_stays_live_but_correct() {
+        // An id that is a substring of the rest of the zone ("b" occurs in
+        // "dns-lab") must refuse memoization and still evaluate correctly.
+        let cache = Arc::new(parking_lot::Mutex::new(PolicyCache::new()));
+        let (directory, log, clock) = setup();
+        for _ in 0..2 {
+            let mut m = Mta::new(
+                MtaConfig::vulnerable("mx.victim.test"),
+                "198.51.100.9".parse().unwrap(),
+                directory.clone(),
+                clock.clone(),
+                SimRng::new(7),
+            );
+            m.set_policy_cache(Arc::clone(&cache));
+            m.connect("203.0.113.9".parse().unwrap());
+            let (mut session, _) = m.open_session();
+            session.handle(&Command::Ehlo("probe.dns-lab.org".into()));
+            let reply = session.handle(&Command::MailFrom(
+                EmailAddress::parse("user@b.s01.spf-test.dns-lab.org").unwrap(),
+            ));
+            assert_eq!(reply.code, 550, "still validated and rejected");
+        }
+        let stats = cache.lock().stats();
+        assert_eq!(stats.hits, 0, "colliding shape never replays");
+        assert!(!log.is_empty());
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use error::ProbeError;
 pub use event::EventQueue;
 pub use fault::{FaultOutcome, FaultPlan, FaultProfile, FlakyWindow};
 pub use latency::LatencyModel;
-pub use metrics::{Histogram, Metrics, MetricsSnapshot};
+pub use metrics::{Histogram, Metrics, MetricsSnapshot, PolicyCacheStats};
 pub use net::{Link, LinkObservation};
 pub use rng::SimRng;
 pub use time::{SimClock, SimDuration, SimTime};

@@ -270,6 +270,42 @@ impl MetricsSnapshot {
     }
 }
 
+/// Counters for the compiled-policy evaluation cache.
+///
+/// Deliberately *not* part of [`MetricsSnapshot`]: the cache is an
+/// execution strategy, not a measurement. `MetricsSnapshot` feeds
+/// `CampaignData` and checkpoints, which must stay bit-for-bit identical
+/// whether the cache is on or off (and whose wire format pins exactly the
+/// sixteen network counters). Cache efficiency is reported separately,
+/// per shard, and merged like any other shard-local tally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyCacheStats {
+    /// Evaluations answered from a memoized entry.
+    pub hits: u64,
+    /// Evaluations that ran live (and possibly populated the cache).
+    pub misses: u64,
+    /// Distinct compiled policies interned, keyed by canonical text.
+    pub interned: u64,
+}
+
+impl PolicyCacheStats {
+    /// Combine two shard tallies field-by-field.
+    #[must_use]
+    pub fn merge(&self, other: &PolicyCacheStats) -> PolicyCacheStats {
+        PolicyCacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            interned: self.interned + other.interned,
+        }
+    }
+
+    /// Hit rate over all evaluations, `None` when nothing ran.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        (total > 0).then(|| self.hits as f64 / total as f64)
+    }
+}
+
 /// A power-of-two bucketed histogram of `u64` samples.
 ///
 /// Bucket `i` counts samples whose value has bit-length `i` (bucket 0

@@ -67,6 +67,11 @@ impl Link {
         &self.faults
     }
 
+    /// The link's latency model.
+    pub fn latency(&self) -> &LatencyModel {
+        &self.latency
+    }
+
     /// Replace the link's fault plan (e.g. when a host starts refusing
     /// connections after blacklisting the prober).
     pub fn set_faults(&mut self, faults: FaultPlan) {

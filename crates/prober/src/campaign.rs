@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use spfail_netsim::{FaultProfile, MetricsSnapshot, SimDuration};
+use spfail_netsim::{FaultProfile, MetricsSnapshot, PolicyCacheStats, SimDuration};
 use spfail_trace::{Phase, Trace, TraceConfig};
 use spfail_world::{DomainId, HostId, Timeline, World};
 
@@ -291,7 +291,7 @@ impl CampaignTiming {
 }
 
 /// Everything one campaign run produced.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct CampaignRun {
     /// The campaign's measurements.
     pub data: CampaignData,
@@ -303,6 +303,19 @@ pub struct CampaignRun {
     /// every shard count — `tests/trace_equivalence.rs` asserts
     /// byte-for-byte equality of its exported forms.
     pub trace: Option<Trace>,
+    /// Compiled-policy cache tallies summed over every worker, `None`
+    /// when the cache was disabled with
+    /// [`CampaignBuilder::policy_cache`].
+    pub cache: Option<PolicyCacheStats>,
+}
+
+/// Cache tallies are bookkeeping about *how* evaluations were answered,
+/// not *what* was measured, so they are excluded from run equality: a
+/// cached run equals its interpretive twin.
+impl PartialEq for CampaignRun {
+    fn eq(&self, other: &CampaignRun) -> bool {
+        self.data == other.data && self.timing == other.timing && self.trace == other.trace
+    }
 }
 
 /// The one way to configure and run a measurement campaign.
@@ -334,6 +347,8 @@ pub struct CampaignBuilder {
     pub(crate) timed: bool,
     pub(crate) trace: TraceConfig,
     pub(crate) incremental: bool,
+    /// Inverted so the zero-value default keeps the cache *on*.
+    pub(crate) no_policy_cache: bool,
 }
 
 impl CampaignBuilder {
@@ -374,6 +389,17 @@ impl CampaignBuilder {
     /// [`CampaignRun::trace`].
     pub fn trace(mut self, config: TraceConfig) -> CampaignBuilder {
         self.trace = config;
+        self
+    }
+
+    /// Enable (`true`, the default) or disable the per-shard compiled
+    /// SPF policy cache. The cache is measurement-transparent:
+    /// [`CampaignData`], traces, and exhibits are bit-for-bit identical
+    /// either way (`tests/policy_cache.rs`), only the wall-clock cost of
+    /// re-parsing and re-interpreting policies changes — so `false`
+    /// exists for measuring the cache and fencing it off when debugging.
+    pub fn policy_cache(mut self, enabled: bool) -> CampaignBuilder {
+        self.no_policy_cache = !enabled;
         self
     }
 

@@ -433,11 +433,12 @@ impl CampaignState {
         let b = &self.builder;
         let _ = writeln!(
             out,
-            "config {} {} {} {}",
+            "config {} {} {} {} {}",
             b.shards,
             bool01(b.timed),
             bool01(b.trace.enabled),
             bool01(b.incremental),
+            bool01(b.no_policy_cache),
         );
         out.push_str("faults ");
         write_plan(&mut out, &b.options.faults.dns);
@@ -538,7 +539,7 @@ impl CampaignState {
             return Err(format!("not a checkpoint: first line {first:?}"));
         }
         let mut world: Option<(u64, f64)> = None;
-        let mut config: Option<(usize, bool, bool, bool)> = None;
+        let mut config: Option<(usize, bool, bool, bool, bool)> = None;
         let mut faults: Option<FaultProfile> = None;
         let mut retry: Option<RetryPolicy> = None;
         let mut rounds_done: Option<usize> = None;
@@ -575,14 +576,15 @@ impl CampaignState {
                     ));
                 }
                 "config" => {
-                    let [shards, timed, trace, incremental] = toks[..] else {
-                        return Err(err("config wants 4 flags".to_string()));
+                    let [shards, timed, trace, incremental, no_policy_cache] = toks[..] else {
+                        return Err(err("config wants 5 flags".to_string()));
                     };
                     config = Some((
                         parse_num(shards, "shards").map_err(err)?,
                         parse_bool01(timed).map_err(err)?,
                         parse_bool01(trace).map_err(err)?,
                         parse_bool01(incremental).map_err(err)?,
+                        parse_bool01(no_policy_cache).map_err(err)?,
                     ));
                 }
                 "faults" => {
@@ -772,7 +774,8 @@ impl CampaignState {
             }
         }
         let (world_seed, world_scale) = world.ok_or("missing world line")?;
-        let (shards, timed, trace_enabled, incremental) = config.ok_or("missing config line")?;
+        let (shards, timed, trace_enabled, incremental, no_policy_cache) =
+            config.ok_or("missing config line")?;
         let builder = CampaignBuilder {
             shards,
             options: ProbeOptions {
@@ -784,6 +787,7 @@ impl CampaignState {
                 enabled: trace_enabled,
             },
             incremental,
+            no_policy_cache,
         };
         let (initial_busy, rounds_busy) = busy.ok_or("missing busy line")?;
         Ok(CampaignState {
@@ -866,6 +870,7 @@ mod tests {
                 timed: true,
                 trace: TraceConfig { enabled: true },
                 incremental: true,
+                no_policy_cache: true,
             },
             world_seed: 2024,
             world_scale: 0.004,

@@ -6,9 +6,10 @@ use std::sync::Arc;
 
 use spfail_dns::{Directory, QueryLog, SpfTestAuthority};
 use spfail_mta::mta::ConnectDecision;
-use spfail_mta::Mta;
+use spfail_mta::{new_policy_cache, Mta, PolicyCacheHandle};
 use spfail_netsim::{
-    FaultOutcome, FaultProfile, Metrics, ProbeError, SimClock, SimDuration, SimRng,
+    FaultOutcome, FaultProfile, Metrics, PolicyCacheStats, ProbeError, SimClock, SimDuration,
+    SimRng,
 };
 use spfail_smtp::address::EmailAddress;
 use spfail_smtp::client::{
@@ -181,6 +182,11 @@ pub struct ProbeContext {
     /// The tracing handle probe spans are recorded into (disabled by
     /// default, which costs nothing).
     pub tracer: Tracer,
+    /// The shard's compiled-policy evaluation cache, shared by every MTA
+    /// this context builds (`None` = the interpretive evaluator). The
+    /// cache is measurement-transparent, so probing observes the same
+    /// queries, clock, and traces either way.
+    pub policy_cache: Option<PolicyCacheHandle>,
 }
 
 impl ProbeContext {
@@ -191,6 +197,7 @@ impl ProbeContext {
             query_log: world.query_log.clone(),
             clock: world.clock.clone(),
             tracer: Tracer::disabled(),
+            policy_cache: None,
         }
     }
 
@@ -210,12 +217,20 @@ impl ProbeContext {
             query_log,
             clock,
             tracer: Tracer::disabled(),
+            policy_cache: None,
         }
     }
 
     /// The same context recording into `tracer`.
     pub fn with_tracer(mut self, tracer: Tracer) -> ProbeContext {
         self.tracer = tracer;
+        self
+    }
+
+    /// The same context with a fresh compiled-policy cache when
+    /// `enabled`, or back on the interpretive evaluator when not.
+    pub fn with_policy_cache(mut self, enabled: bool) -> ProbeContext {
+        self.policy_cache = enabled.then(new_policy_cache);
         self
     }
 }
@@ -404,6 +419,19 @@ impl<'w> Prober<'w> {
     /// totals without double counting.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
+    }
+
+    /// The context's compiled-policy cache tallies (zeros when this
+    /// prober runs interpretively). Shard-local, merged like any other
+    /// per-worker counter — and deliberately kept out of
+    /// [`MetricsSnapshot`](spfail_netsim::MetricsSnapshot), which must
+    /// stay identical cache on or off.
+    pub fn policy_cache_stats(&self) -> PolicyCacheStats {
+        self.ctx
+            .policy_cache
+            .as_ref()
+            .map(|cache| cache.lock().stats())
+            .unwrap_or_default()
     }
 
     /// The ethics guard (for audits).
@@ -653,6 +681,7 @@ impl<'w> Prober<'w> {
                     .is_active()
                     .then_some(dns_salt.as_str()),
                 tracer: self.ctx.tracer.clone(),
+                policy_cache: self.ctx.policy_cache.clone(),
             },
         );
         // Restore the host's cross-round connection count so blacklisting
@@ -868,15 +897,22 @@ impl<'w> Prober<'w> {
     }
 
     fn plan(&self, sender_domain: &str, test: ProbeTest) -> TransactionPlan {
+        // The recipient ladder is the same for every probe; build it once
+        // and hand out shared-part clones (addresses are `Arc<str>` pairs).
+        static LADDER: std::sync::OnceLock<Vec<EmailAddress>> = std::sync::OnceLock::new();
         let sender = EmailAddress::new("mmj7yzdm0tbk", sender_domain)
             .expect("probe sender addresses are valid by construction");
-        let recipients = USERNAME_LADDER
-            .iter()
-            .map(|user| {
-                EmailAddress::new(user, "recipient.invalid")
-                    .expect("ladder usernames are valid")
+        let recipients = LADDER
+            .get_or_init(|| {
+                USERNAME_LADDER
+                    .iter()
+                    .map(|user| {
+                        EmailAddress::new(user, "recipient.invalid")
+                            .expect("ladder usernames are valid")
+                    })
+                    .collect()
             })
-            .collect();
+            .clone();
         TransactionPlan {
             helo_domain: "probe.dns-lab.org".to_string(),
             sender,

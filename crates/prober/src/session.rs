@@ -59,7 +59,7 @@ use std::io;
 use std::path::Path;
 
 use spfail_dns::QueryLog;
-use spfail_netsim::{MetricsSnapshot, SimDuration, SimTime};
+use spfail_netsim::{MetricsSnapshot, PolicyCacheStats, SimDuration, SimTime};
 use spfail_trace::{Trace, Tracer};
 use spfail_world::{DomainId, HostId, Timeline, World};
 
@@ -110,6 +110,10 @@ pub struct Session<'w> {
     /// initial phase); live workers keep theirs until `finish`.
     ethics_total: EthicsAudit,
     network_total: MetricsSnapshot,
+    /// Compiled-policy cache tallies merged from retired workers. Purely
+    /// derived state: never checkpointed, and a restored session counts
+    /// from zero again (its rebuilt workers start with cold caches).
+    cache_total: PolicyCacheStats,
     initial_busy: SimDuration,
     rounds_busy: SimDuration,
     /// Trace records drained from retired workers and checkpoints; the
@@ -143,6 +147,7 @@ impl<'w> Session<'w> {
             rounds: Vec::new(),
             ethics_total: EthicsAudit::default(),
             network_total: MetricsSnapshot::default(),
+            cache_total: PolicyCacheStats::default(),
             initial_busy: SimDuration::ZERO,
             rounds_busy: SimDuration::ZERO,
             trace_parts: Vec::new(),
@@ -159,6 +164,10 @@ impl<'w> Session<'w> {
 
     fn sharded(&self) -> bool {
         self.builder.shards > 1
+    }
+
+    fn cache_enabled(&self) -> bool {
+        !self.builder.no_policy_cache
     }
 
     /// The hosts tracked longitudinally (set by the initial sweep).
@@ -205,7 +214,9 @@ impl<'w> Session<'w> {
             let mut prober = Prober::with_options(
                 world,
                 "s1",
-                ProbeContext::shared(world).with_tracer(tracer.clone()),
+                ProbeContext::shared(world)
+                    .with_tracer(tracer.clone())
+                    .with_policy_cache(self.cache_enabled()),
                 MAX_CONCURRENT,
                 self.builder.options,
             );
@@ -233,11 +244,13 @@ impl<'w> Session<'w> {
         let partitions = partition_hosts(&all_hosts, shards);
         let opts = self.builder.options;
         let trace = self.builder.trace;
+        let cache_on = self.cache_enabled();
         type SweepOut = (
             InitialMeasurement,
             HashMap<HostId, u32>,
             EthicsAudit,
             MetricsSnapshot,
+            PolicyCacheStats,
             SimDuration,
             Trace,
         );
@@ -250,7 +263,9 @@ impl<'w> Session<'w> {
                         let mut prober = Prober::with_options(
                             world,
                             "s1",
-                            ProbeContext::isolated(world).with_tracer(tracer.clone()),
+                            ProbeContext::isolated(world)
+                                .with_tracer(tracer.clone())
+                                .with_policy_cache(cache_on),
                             budget,
                             opts,
                         );
@@ -262,6 +277,7 @@ impl<'w> Session<'w> {
                             counts,
                             prober.ethics().audit().clone(),
                             prober.metrics().snapshot(),
+                            prober.policy_cache_stats(),
                             busy,
                             tracer.finish(),
                         )
@@ -276,13 +292,14 @@ impl<'w> Session<'w> {
         .expect("scope");
 
         let mut initial = InitialMeasurement::default();
-        for (part_initial, part_counts, part_audit, part_network, busy, part_trace) in
+        for (part_initial, part_counts, part_audit, part_network, part_cache, busy, part_trace) in
             sweep_outputs
         {
             initial.results.extend(part_initial.results);
             self.merged_counts.extend(part_counts);
             self.ethics_total = self.ethics_total.merge(&part_audit);
             self.network_total = self.network_total.merge(&part_network);
+            self.cache_total = self.cache_total.merge(&part_cache);
             self.initial_busy = self.initial_busy.max(busy);
             self.trace_parts.push(part_trace);
         }
@@ -334,7 +351,9 @@ impl<'w> Session<'w> {
             let prober = Prober::with_options(
                 self.world,
                 "s1",
-                ProbeContext::isolated(self.world).with_tracer(tracer.clone()),
+                ProbeContext::isolated(self.world)
+                    .with_tracer(tracer.clone())
+                    .with_policy_cache(self.cache_enabled()),
                 budget,
                 self.builder.options,
             );
@@ -446,6 +465,7 @@ impl<'w> Session<'w> {
         for Worker { prober, tracer, .. } in self.workers.drain(..) {
             self.ethics_total = self.ethics_total.merge(prober.ethics().audit());
             self.network_total = self.network_total.merge(&prober.metrics().snapshot());
+            self.cache_total = self.cache_total.merge(&prober.policy_cache_stats());
             if sharded {
                 self.trace_parts.push(tracer.finish());
             } else {
@@ -470,7 +490,9 @@ impl<'w> Session<'w> {
             let mut prober = Prober::with_options(
                 world,
                 "s1",
-                ProbeContext::shared(world).with_tracer(tracer.clone()),
+                ProbeContext::shared(world)
+                    .with_tracer(tracer.clone())
+                    .with_policy_cache(self.cache_enabled()),
                 MAX_CONCURRENT,
                 opts,
             );
@@ -485,15 +507,18 @@ impl<'w> Session<'w> {
             snapshot_busy = busy;
             self.ethics_total = self.ethics_total.merge(prober.ethics().audit());
             self.network_total = self.network_total.merge(&prober.metrics().snapshot());
+            self.cache_total = self.cache_total.merge(&prober.policy_cache_stats());
             self.trace_parts.push(tracer.finish());
         } else {
             let shards = self.shards();
             let budget = (MAX_CONCURRENT / shards).max(1);
             let target_parts = partition_hosts(&targets, shards);
+            let cache_on = self.cache_enabled();
             type SnapOut = (
                 HashMap<HostId, RoundStatus>,
                 EthicsAudit,
                 MetricsSnapshot,
+                PolicyCacheStats,
                 QueryLog,
                 SimDuration,
                 Trace,
@@ -507,7 +532,9 @@ impl<'w> Session<'w> {
                             let mut prober = Prober::with_options(
                                 world,
                                 "s1",
-                                ProbeContext::isolated(world).with_tracer(tracer.clone()),
+                                ProbeContext::isolated(world)
+                                    .with_tracer(tracer.clone())
+                                    .with_policy_cache(cache_on),
                                 budget,
                                 opts,
                             );
@@ -523,6 +550,7 @@ impl<'w> Session<'w> {
                                 statuses,
                                 prober.ethics().audit().clone(),
                                 prober.metrics().snapshot(),
+                                prober.policy_cache_stats(),
                                 log,
                                 busy,
                                 tracer.finish(),
@@ -538,10 +566,13 @@ impl<'w> Session<'w> {
             .expect("scope");
 
             let mut snapshot_logs = Vec::new();
-            for (statuses, part_audit, part_network, log, busy, part_trace) in snapshot_outputs {
+            for (statuses, part_audit, part_network, part_cache, log, busy, part_trace) in
+                snapshot_outputs
+            {
                 host_statuses.extend(statuses);
                 self.ethics_total = self.ethics_total.merge(&part_audit);
                 self.network_total = self.network_total.merge(&part_network);
+                self.cache_total = self.cache_total.merge(&part_cache);
                 snapshot_logs.push(log);
                 snapshot_busy = snapshot_busy.max(busy);
                 self.trace_parts.push(part_trace);
@@ -579,10 +610,12 @@ impl<'w> Session<'w> {
         let trace = trace
             .enabled
             .then(|| Trace::merge(self.trace_parts.drain(..)));
+        let cache = (!self.builder.no_policy_cache).then_some(self.cache_total);
         CampaignRun {
             data,
             timing: self.builder.timed.then_some(timing),
             trace,
+            cache,
         }
     }
 
@@ -742,11 +775,15 @@ impl<'w> Session<'w> {
         let parts = partition_hosts(&session.tracked, shards);
         for (i, ws) in state.workers.into_iter().enumerate() {
             let tracer = Tracer::new(session.builder.trace);
+            // Rebuilt workers start with cold policy caches: the cache is
+            // derived state, deliberately absent from checkpoints, and
+            // re-warming it is invisible to every measurement surface.
             let ctx = if sharded {
                 ProbeContext::isolated(world)
             } else {
                 ProbeContext::shared(world)
-            };
+            }
+            .with_policy_cache(session.cache_enabled());
             let mut prober = Prober::with_options(
                 world,
                 "s1",

@@ -8,6 +8,7 @@
 //! * [`tables`] — Tables 1–7.
 //! * [`resilience`] — fault-injection recall figure (not in the paper).
 //! * [`trace_profile`] — structured-trace latency profile (not in the paper).
+//! * [`cache`] — compiled-policy cache efficiency (not in the paper).
 //! * [`figures`] — Figures 2–8 and the §7.7 notification funnel.
 //!
 //! The `experiments` binary drives everything:
@@ -21,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod figures;
 pub mod pipeline;
 pub mod resilience;
@@ -81,6 +83,7 @@ pub const EXHIBIT_REGISTRY: &[ExhibitEntry] = &[
     ExhibitEntry { id: "attribution", build: figures::attribution },
     ExhibitEntry { id: "resilience", build: resilience::resilience },
     ExhibitEntry { id: "trace_profile", build: trace_profile::trace_profile },
+    ExhibitEntry { id: "cache_efficiency", build: cache::cache_efficiency },
 ];
 
 /// Look up a registry entry by exhibit id.

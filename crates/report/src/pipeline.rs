@@ -2,6 +2,7 @@
 
 use std::collections::BTreeSet;
 
+use spfail_netsim::PolicyCacheStats;
 use spfail_notify::{NotificationCampaign, NotificationRecord, NotificationReport, PixelLog};
 use spfail_prober::{CampaignBuilder, CampaignData, HostClass, HostInitialResult};
 use spfail_world::{DomainId, HostId, World, WorldConfig};
@@ -46,6 +47,12 @@ pub struct Context {
     pub funnel: NotificationReport,
     /// The tracking-pixel log.
     pub pixels: PixelLog,
+    /// Compiled-policy cache tallies from the campaign run, `None` when
+    /// the campaign ran without the cache (or was rebuilt from bare
+    /// [`CampaignData`]). Every other exhibit is identical either way —
+    /// the cache is measurement-transparent — so only the
+    /// `cache_efficiency` exhibit reads this.
+    pub cache: Option<PolicyCacheStats>,
 }
 
 impl Context {
@@ -58,13 +65,16 @@ impl Context {
         });
         // Drive the staged session explicitly — the report pipeline is
         // the reference consumer of the stage-by-stage API.
-        let campaign = {
+        let (campaign, cache) = {
             let mut session = CampaignBuilder::new().session(&world);
             session.initial_sweep();
             while session.advance_round().is_some() {}
-            session.finish().data
+            let run = session.finish();
+            (run.data, run.cache)
         };
-        Context::from_campaign(world, campaign)
+        let mut ctx = Context::from_campaign(world, campaign);
+        ctx.cache = cache;
+        ctx
     }
 
     /// Build the exhibit context from an already-measured campaign —
@@ -83,6 +93,7 @@ impl Context {
             notifications,
             funnel,
             pixels,
+            cache: None,
         }
     }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Errors parsing an email address.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,10 +31,13 @@ impl std::error::Error for AddressError {}
 ///
 /// The local part is kept verbatim (it is case-sensitive per RFC 5321);
 /// the domain is compared case-insensitively.
+/// Parts are shared (`Arc<str>`) so cloning an address — the probe
+/// planner reuses a constant recipient ladder per transaction — is two
+/// refcount bumps, not two re-allocations.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct EmailAddress {
-    local: String,
-    domain: String,
+    local: Arc<str>,
+    domain: Arc<str>,
 }
 
 impl EmailAddress {
@@ -57,8 +61,8 @@ impl EmailAddress {
             return Err(AddressError::BadDomain);
         }
         Ok(EmailAddress {
-            local: local.to_string(),
-            domain: domain.to_string(),
+            local: Arc::from(local),
+            domain: Arc::from(domain),
         })
     }
 

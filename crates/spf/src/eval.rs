@@ -436,13 +436,13 @@ impl<'a, D: SpfDns, E: MacroExpander> Evaluator<'a, D, E> {
     }
 }
 
-enum QueryFail {
+pub(crate) enum QueryFail {
     Temp,
     LimitExceeded,
 }
 
 impl QueryFail {
-    fn into_result(self) -> SpfResult {
+    pub(crate) fn into_result(self) -> SpfResult {
         match self {
             QueryFail::Temp => SpfResult::TempError,
             QueryFail::LimitExceeded => SpfResult::PermError,
@@ -450,7 +450,7 @@ impl QueryFail {
     }
 }
 
-fn v4_in_network(ip: std::net::Ipv4Addr, network: std::net::Ipv4Addr, cidr: u8) -> bool {
+pub(crate) fn v4_in_network(ip: std::net::Ipv4Addr, network: std::net::Ipv4Addr, cidr: u8) -> bool {
     if cidr == 0 {
         return true;
     }
@@ -458,7 +458,7 @@ fn v4_in_network(ip: std::net::Ipv4Addr, network: std::net::Ipv4Addr, cidr: u8) 
     (u32::from(ip) & mask) == (u32::from(network) & mask)
 }
 
-fn v6_in_network(ip: std::net::Ipv6Addr, network: std::net::Ipv6Addr, cidr: u8) -> bool {
+pub(crate) fn v6_in_network(ip: std::net::Ipv6Addr, network: std::net::Ipv6Addr, cidr: u8) -> bool {
     if cidr == 0 {
         return true;
     }
@@ -472,7 +472,7 @@ fn v6_in_network(ip: std::net::Ipv6Addr, network: std::net::Ipv6Addr, cidr: u8) 
 /// The reverse-DNS name of an address (`in-addr.arpa` / `ip6.arpa`),
 /// rendered into one pre-sized buffer (72 bytes covers the longest
 /// `ip6.arpa` form) instead of a nibble list plus joins.
-fn reverse_name(ip: IpAddr) -> Name {
+pub(crate) fn reverse_name(ip: IpAddr) -> Name {
     use std::fmt::Write as _;
     let mut s = String::with_capacity(72);
     match ip {

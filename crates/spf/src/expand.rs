@@ -140,6 +140,18 @@ pub trait MacroExpander {
 
     /// A short identifier for logs and classification tables.
     fn describe(&self) -> &'static str;
+
+    /// Whether this expander's semantics are exactly RFC 7208 §7.
+    ///
+    /// The compiled evaluator (`crate::compile`) may substitute its
+    /// pre-segmented scratch-buffer splice for a trait call only when the
+    /// expander asserts full compliance; every quirky or vulnerable
+    /// expander keeps the default `false` and is always consulted, since
+    /// even a literal-only macro-string can legally be mangled by a
+    /// non-compliant implementation.
+    fn is_rfc_compliant(&self) -> bool {
+        false
+    }
 }
 
 impl<T: MacroExpander + ?Sized> MacroExpander for Box<T> {
@@ -154,6 +166,10 @@ impl<T: MacroExpander + ?Sized> MacroExpander for Box<T> {
 
     fn describe(&self) -> &'static str {
         (**self).describe()
+    }
+
+    fn is_rfc_compliant(&self) -> bool {
+        (**self).is_rfc_compliant()
     }
 }
 
@@ -265,6 +281,10 @@ impl MacroExpander for CompliantExpander {
 
     fn describe(&self) -> &'static str {
         "rfc7208"
+    }
+
+    fn is_rfc_compliant(&self) -> bool {
+        true
     }
 }
 

@@ -24,12 +24,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod eval;
 pub mod expand;
 pub mod macrostring;
 pub mod record;
 pub mod result;
 
+pub use compile::{
+    canonicalize, splice_id, templatize, CompiledEvaluator, CompiledPolicy, PolicyCache, PolicyId,
+    ScriptEntry, ScriptKey, ScriptStep, ID_HOLE,
+};
 pub use eval::{EvalConfig, Evaluator, SpfDns, TraceEvent};
 pub use expand::{CompliantExpander, ExpandError, MacroContext, MacroExpander};
 pub use macrostring::{MacroLetter, MacroString, MacroToken, MacroTransform};

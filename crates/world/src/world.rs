@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use spfail_dns::{Directory, Name, QueryLog, SpfTestAuthority};
 use spfail_libspf2::MacroBehavior;
-use spfail_mta::{ConnectPolicy, Mta, SpfStage};
+use spfail_mta::{ConnectPolicy, Mta, PolicyCacheHandle, SpfStage};
 use spfail_netsim::{FaultPlan, LatencyModel, Link, Metrics, SimClock, SimRng};
 use spfail_trace::Tracer;
 
@@ -53,6 +53,9 @@ pub struct MtaInstrumentation<'a> {
     /// DNS lookups appear as spans in the probing client's trace. The
     /// disabled default costs nothing.
     pub tracer: Tracer,
+    /// Shard-shared compiled-policy cache installed on the MTA; `None`
+    /// keeps the original interpretive SPF evaluation loop.
+    pub policy_cache: Option<PolicyCacheHandle>,
 }
 
 impl World {
@@ -313,6 +316,7 @@ impl World {
                 metrics: Metrics::new(),
                 reroll: None,
                 tracer: Tracer::disabled(),
+                policy_cache: None,
             },
         )
     }
@@ -350,6 +354,9 @@ impl World {
             rng,
         );
         mta.set_dns_tracer(instrumentation.tracer);
+        if let Some(cache) = instrumentation.policy_cache {
+            mta.set_policy_cache(cache);
+        }
         mta
     }
 

@@ -29,7 +29,10 @@
 //! deterministic kill for exercising resume. `--incremental` re-probes
 //! only hosts whose status can have changed since their last conclusive
 //! measurement; the measured data is identical, the probe volume is not.
-//! The full flag vocabulary lives in `examples/campaign_args.rs`.
+//! `--no-policy-cache` runs every SPF evaluation interpretively instead
+//! of through the compiled-policy cache (bit-for-bit identical output,
+//! slower), and `--cache-stats` prints the cache's hit/miss/interned
+//! tallies. The full flag vocabulary lives in `examples/campaign_args.rs`.
 
 use spfail::notify::{NotificationCampaign, PixelLog};
 use spfail::prober::{CampaignRun, SnapshotStatus};
@@ -121,6 +124,18 @@ fn main() {
     } else {
         options.builder().run(&world)
     };
+    if options.cache_stats {
+        match &run.cache {
+            Some(stats) => println!(
+                "policy cache: {} hits, {} misses ({:.1}% hit rate), {} policies interned",
+                stats.hits,
+                stats.misses,
+                100.0 * stats.hit_rate().unwrap_or(0.0),
+                stats.interned
+            ),
+            None => println!("policy cache: disabled (--no-policy-cache)"),
+        }
+    }
     let data = run.data;
     println!(
         "  {} addresses measured vulnerable, hosting {} domains",

@@ -5,7 +5,7 @@
 //! `SPFAIL_CONFORMANCE_CASES` overrides the differential case count (CI
 //! runs a larger fixed-seed smoke in release mode).
 
-use spfail::conformance::{generate_case, regressions, rfc_corpus, run_case, shrink};
+use spfail::conformance::{generate_case, oracle, regressions, rfc_corpus, run_case, shrink};
 use spfail::conformance::oracle::Verdict;
 
 /// The fixed fuzz seed; shared with the CI smoke job.
@@ -36,6 +36,32 @@ fn rfc7208_vector_corpus() {
         failures.extend(rfc_corpus::check_vector(&vector));
     }
     assert!(failures.is_empty(), "{failures:#?}");
+}
+
+/// The compiled-policy evaluator is behaviourally identical to the
+/// interpretive one — verdict, query spelling, explanation — for every
+/// expansion profile, on cold and warm caches, across the embedded
+/// RFC 7208 vector corpus and the full generator sweep.
+#[test]
+fn compiled_evaluator_matches_interpretive() {
+    for vector in rfc_corpus::rfc_vectors() {
+        let divergences = oracle::diff_compiled(&vector.case);
+        assert!(
+            divergences.is_empty(),
+            "RFC vector {}: {divergences:#?}",
+            vector.name
+        );
+    }
+    let count = case_count();
+    for index in 0..count {
+        let case = generate_case(SEED, index as u64);
+        let divergences = oracle::diff_compiled(&case);
+        assert!(
+            divergences.is_empty(),
+            "case {index} (seed {SEED:#x}): {divergences:#?}\n{}",
+            case.to_script(),
+        );
+    }
 }
 
 /// The seeded differential run: zero unclassified divergences, and the

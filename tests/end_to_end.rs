@@ -129,9 +129,9 @@ fn all_exhibits_build_and_are_nonempty() {
     let exhibits = all_exhibits(ctx);
     assert_eq!(
         exhibits.len(),
-        18,
+        19,
         "7 tables + 7 figures + the funnel + the attribution, resilience, \
-         and trace-profile extensions"
+         trace-profile, and cache-efficiency extensions"
     );
     for exhibit in &exhibits {
         assert!(

@@ -1,0 +1,206 @@
+//! Measurement transparency of the compiled-policy cache: a campaign
+//! run with the cache enabled (the default) must be **byte-for-bit
+//! identical** in every observable — `CampaignData`, trace JSONL and
+//! collapsed-stack exports, all report exhibits — to the same campaign
+//! with `policy_cache(false)`, across seeds, shard counts, and fault
+//! regimes. The cache may only remove redundant *work* (parsing,
+//! interpretation, zone walks), never change a measurement.
+//!
+//! Also pinned here: checkpoints never serialise the cache — a resumed
+//! session starts cold and still reproduces the warm run exactly.
+
+use spfail::netsim::{FaultPlan, FaultProfile, FlakyWindow, SimDuration};
+use spfail::prober::{
+    CampaignBuilder, CampaignRun, CampaignState, RetryPolicy, Session, TraceConfig,
+};
+use spfail::world::{Timeline, World, WorldConfig};
+
+const SEEDS: [u64; 3] = [11, 2024, 77];
+const SCALE: f64 = 0.002;
+
+fn build_world(seed: u64) -> World {
+    World::generate(WorldConfig {
+        scale: SCALE,
+        ..WorldConfig::small(seed)
+    })
+}
+
+/// The tests/trace_equivalence.rs combined fault regime.
+fn combined_profile() -> FaultProfile {
+    FaultProfile {
+        dns: FaultPlan {
+            drop_chance: 0.05,
+            servfail_chance: 0.05,
+            truncate_chance: 0.1,
+            ..FaultPlan::NONE
+        },
+        smtp: FaultPlan {
+            tempfail_chance: 0.05,
+            reset_chance: 0.05,
+            ..FaultPlan::NONE
+        },
+        flaky_fraction: 0.2,
+        window: Some(FlakyWindow::new(SimDuration::from_mins(360), 0.6)),
+    }
+}
+
+/// Campaign data and the trace byte exports must agree exactly.
+fn assert_same_observables(cached: &CampaignRun, uncached: &CampaignRun, label: &str) {
+    assert_eq!(
+        cached.data, uncached.data,
+        "{label}: campaign data diverged"
+    );
+    match (&cached.trace, &uncached.trace) {
+        (Some(c), Some(u)) => {
+            assert_eq!(c.to_jsonl(), u.to_jsonl(), "{label}: trace JSONL diverged");
+            assert_eq!(
+                c.to_collapsed(),
+                u.to_collapsed(),
+                "{label}: collapsed-stack export diverged"
+            );
+        }
+        (None, None) => {}
+        _ => panic!("{label}: one run traced, the other did not"),
+    }
+}
+
+/// The transparency matrix: seeds × shard counts × fault profile
+/// on/off, traced, cache on (default) vs `policy_cache(false)`.
+#[test]
+fn cache_on_and_off_are_byte_identical() {
+    for seed in SEEDS {
+        for shards in [1usize, 4] {
+            for faults in [false, true] {
+                let mut builder = CampaignBuilder::new()
+                    .shards(shards)
+                    .trace(TraceConfig::enabled());
+                if faults {
+                    builder = builder
+                        .faults(combined_profile())
+                        .retry(RetryPolicy::standard());
+                }
+                let world = build_world(seed);
+                let cached = builder.run(&world);
+                let world = build_world(seed);
+                let uncached = builder.policy_cache(false).run(&world);
+                let label = format!("seed {seed}, {shards} shard(s), faults {faults}");
+                assert_same_observables(&cached, &uncached, &label);
+
+                // The cache did real work in the cached run — the
+                // equality above is not vacuous. Under active fault
+                // injection the soundness gates refuse to replay
+                // (faulted transcripts are not reusable), so only the
+                // clean configurations must show hits.
+                let stats = cached.cache.expect("cache on by default");
+                if !faults {
+                    assert!(stats.hits > 0, "{label}: cache never hit");
+                    assert!(stats.interned > 0, "{label}: nothing interned");
+                }
+                assert!(uncached.cache.is_none(), "{label}: disabled run kept stats");
+            }
+        }
+    }
+}
+
+/// Every report exhibit built from the two campaigns is byte-identical
+/// (the cache-efficiency exhibit reads the pipeline's own live tallies,
+/// which `Context::from_campaign` deliberately does not carry).
+#[test]
+fn report_exhibits_are_identical_cache_on_and_off() {
+    let seed = 2024;
+    let world = build_world(seed);
+    let cached = CampaignBuilder::new().shards(4).run(&world);
+    let world = build_world(seed);
+    let uncached = CampaignBuilder::new()
+        .shards(4)
+        .policy_cache(false)
+        .run(&world);
+
+    let cached_ctx = spfail::report::Context::from_campaign(build_world(seed), cached.data);
+    let uncached_ctx = spfail::report::Context::from_campaign(build_world(seed), uncached.data);
+    let cached_exhibits = spfail::report::all_exhibits(&cached_ctx);
+    let uncached_exhibits = spfail::report::all_exhibits(&uncached_ctx);
+    assert_eq!(cached_exhibits.len(), uncached_exhibits.len());
+    for (c, u) in cached_exhibits.iter().zip(&uncached_exhibits) {
+        assert_eq!(c.id, u.id);
+        assert_eq!(c.rendered, u.rendered, "exhibit {} diverged", c.id);
+        assert_eq!(
+            serde_json::to_string(&c.json).expect("serialize"),
+            serde_json::to_string(&u.json).expect("serialize"),
+            "exhibit {} JSON diverged",
+            c.id
+        );
+    }
+}
+
+/// Kill a warm-cached session mid-campaign and resume: the restored
+/// workers start with *cold* caches, and the final run is still
+/// byte-for-bit the uninterrupted warm run. (This is what makes not
+/// serialising the cache sound.)
+#[test]
+fn resume_with_cold_cache_matches_uninterrupted_warm_run() {
+    let mid = Timeline::all_round_days().len() / 2;
+    for shards in [1usize, 4] {
+        let builder = CampaignBuilder::new()
+            .shards(shards)
+            .trace(TraceConfig::enabled());
+        let world = build_world(77);
+        let reference = builder.run(&world);
+
+        let world = build_world(77);
+        let mut session = builder.session(&world);
+        session.initial_sweep();
+        while session.advance_round().is_some() {
+            if session.rounds_done() == mid {
+                // Serialise, discard, rebuild — a process death at the
+                // round boundary, minus the filesystem.
+                let text = session.to_state().to_text();
+                drop(session);
+                let state = CampaignState::parse(&text).expect("checkpoint parses");
+                session = Session::from_state(state, &world).expect("checkpoint restores");
+            }
+        }
+        let resumed = session.finish();
+        assert_same_observables(
+            &reference,
+            &resumed,
+            &format!("{shards} shard(s), killed at round {mid}"),
+        );
+    }
+}
+
+/// The checkpoint text records the cache *configuration flag* but never
+/// the cache contents — no policy text, no memoised verdicts.
+#[test]
+fn checkpoint_text_does_not_serialize_the_cache() {
+    let world = build_world(11);
+    let mut session = CampaignBuilder::new().session(&world);
+    session.initial_sweep();
+    session.advance_round();
+    let warm = session.stats();
+    let _ = warm; // the session has probed; any cache it holds is warm
+    let text = session.to_state().to_text();
+    drop(session);
+
+    for marker in ["v=spf1", "policy", "cache", "intern", "memo", "script"] {
+        assert!(
+            !text.to_lowercase().contains(marker),
+            "checkpoint text leaks cache state (found {marker:?})"
+        );
+    }
+
+    // The flag itself round-trips: a cache-off session checkpoints and
+    // restores as cache-off (observable only through run.cache).
+    let world = build_world(11);
+    let mut session = CampaignBuilder::new().policy_cache(false).session(&world);
+    session.initial_sweep();
+    let text = session.to_state().to_text();
+    drop(session);
+    let state = CampaignState::parse(&text).expect("parses");
+    let mut session = Session::from_state(state, &world).expect("restores");
+    while session.advance_round().is_some() {}
+    assert!(
+        session.finish().cache.is_none(),
+        "policy_cache(false) did not survive the checkpoint round trip"
+    );
+}

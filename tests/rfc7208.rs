@@ -3,12 +3,14 @@
 //! MTA would.
 
 use std::collections::HashMap;
+use std::net::IpAddr;
 
 use spfail::dns::resolver::{LookupError, LookupOutcome};
 use spfail::dns::{Name, RData, Record, RecordType};
 use spfail::spf::eval::{Evaluator, SpfDns};
 use spfail::spf::expand::CompliantExpander;
 use spfail::spf::result::SpfResult;
+use spfail::spf::{CompiledEvaluator, PolicyCache};
 
 /// The RFC's example.com zone (Appendix A), plus helpers.
 #[derive(Default)]
@@ -75,9 +77,26 @@ impl SpfDns for Zone {
 }
 
 fn check(zone: &mut Zone, client: &str) -> SpfResult {
-    let mut expander = CompliantExpander;
-    let mut eval = Evaluator::new(zone, &mut expander);
-    eval.check_host(client.parse().expect("ip"), "strong-bad", "example.com")
+    let ip: IpAddr = client.parse().expect("ip");
+    let interpretive = {
+        let mut expander = CompliantExpander;
+        let mut eval = Evaluator::new(zone, &mut expander);
+        eval.check_host(ip, "strong-bad", "example.com")
+    };
+    // Every scenario doubles as a differential vector: the compiled
+    // evaluator must agree, both compiling cold and replaying from the
+    // warm cache.
+    let mut cache = PolicyCache::new();
+    for pass in ["cold", "warm"] {
+        let mut expander = CompliantExpander;
+        let mut eval = CompiledEvaluator::new(zone, &mut expander, &mut cache);
+        let compiled = eval.check_host(ip, "strong-bad", "example.com");
+        assert_eq!(
+            compiled, interpretive,
+            "compiled evaluator diverged from interpretive ({pass} cache)"
+        );
+    }
+    interpretive
 }
 
 // --- RFC 7208 Appendix A.1: simple examples --------------------------------
@@ -413,6 +432,21 @@ fn exp_expansion_uses_macros_from_the_failing_check() {
     );
     let mut expander = CompliantExpander;
     let mut eval = Evaluator::new(&mut zone, &mut expander);
+    let result = eval.check_host(
+        "203.0.113.1".parse().expect("ip"),
+        "strong-bad",
+        "example.com",
+    );
+    assert_eq!(result, SpfResult::Fail);
+    assert_eq!(
+        eval.explanation(),
+        Some("203.0.113.1 is not a listed MX for strong-bad@example.com"),
+    );
+
+    // The compiled evaluator expands the same explanation.
+    let mut cache = PolicyCache::new();
+    let mut expander = CompliantExpander;
+    let mut eval = CompiledEvaluator::new(&mut zone, &mut expander, &mut cache);
     let result = eval.check_host(
         "203.0.113.1".parse().expect("ip"),
         "strong-bad",
