@@ -9,13 +9,15 @@
 //! per-lookup allocation fails tier-1 here — long before criterion noise
 //! could hide it.
 //!
-//! Everything is measured inside a single `#[test]` so parallel test
-//! threads never pollute the counter.
+//! Every measurement takes the shared [`measure_lock`], so parallel test
+//! threads never pollute each other's window — essential now that the
+//! streaming-vs-eager peak-heap tests below run whole campaigns (millions
+//! of allocations) in the same binary as the ≤12-alloc resolve budgets.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::net::Ipv4Addr;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use spfail_dns::{Directory, Name, RecordType, Resolver, StaticAuthority, ZoneBuilder};
 use spfail_netsim::{Link, SimClock, SimRng};
@@ -26,16 +28,26 @@ static ALLOCS: AtomicU64 = AtomicU64::new(0);
 /// Depth of measurement scopes; counting only while > 0 keeps test-harness
 /// bookkeeping out of the numbers.
 static MEASURING: AtomicUsize = AtomicUsize::new(0);
+/// Live heap bytes right now. Tracked from the first allocation of the
+/// process, so every dealloc pairs with a tracked alloc and the counter
+/// never underflows.
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+/// High-water mark of [`CURRENT_BYTES`] since the last reset.
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if MEASURING.load(Ordering::Relaxed) > 0 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        let now = CURRENT_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed)
+            + layout.size() as u64;
+        PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
         System.dealloc(ptr, layout)
     }
 
@@ -43,6 +55,10 @@ unsafe impl GlobalAlloc for CountingAllocator {
         if MEASURING.load(Ordering::Relaxed) > 0 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
         }
+        CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        let now =
+            CURRENT_BYTES.fetch_add(new_size as u64, Ordering::Relaxed) + new_size as u64;
+        PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
         System.realloc(ptr, layout, new_size)
     }
 }
@@ -50,14 +66,34 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
+/// Serialises measurement windows across test threads.
+fn measure_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A poisoned lock only means another measurement test failed; the
+    // window itself is still exclusive.
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Heap allocations performed by `f`.
 fn count_allocs<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let _window = measure_lock();
     MEASURING.fetch_add(1, Ordering::SeqCst);
     let before = ALLOCS.load(Ordering::SeqCst);
     let out = f();
     let after = ALLOCS.load(Ordering::SeqCst);
     MEASURING.fetch_sub(1, Ordering::SeqCst);
     (after - before, out)
+}
+
+/// Peak heap growth of `f` over the live bytes at entry — the
+/// high-water mark a campaign's working set reaches above its baseline.
+fn peak_heap<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let _window = measure_lock();
+    let baseline = CURRENT_BYTES.load(Ordering::SeqCst);
+    PEAK_BYTES.store(baseline, Ordering::SeqCst);
+    let out = f();
+    let peak = PEAK_BYTES.load(Ordering::SeqCst);
+    (peak.saturating_sub(baseline), out)
 }
 
 fn n(s: &str) -> Name {
@@ -324,3 +360,122 @@ const COLD_COMPILE_BUDGET: u64 = 12;
 /// (those show up as 10x), loose enough to absorb generator drift when
 /// cases get richer.
 const PER_CASE_ORACLE_BUDGET: u64 = 1400;
+
+/// Run one eager campaign and report (peak heap growth, hosts probed).
+fn eager_campaign_peak(config: &spfail_world::WorldConfig) -> (u64, usize) {
+    use spfail_prober::CampaignBuilder;
+    use spfail_world::World;
+    peak_heap(|| {
+        let world = World::generate(config.clone());
+        let run = CampaignBuilder::new().run(&world);
+        run.data.initial.results.len()
+    })
+}
+
+/// Run one streaming campaign and report (peak heap growth, hosts probed).
+fn streaming_campaign_peak(config: &spfail_world::WorldConfig) -> (u64, usize) {
+    use spfail_prober::CampaignBuilder;
+    peak_heap(|| {
+        let streamed = CampaignBuilder::new().run_streaming(config.clone());
+        assert!(
+            !streamed.run.summary.tracked.is_empty(),
+            "a degenerate campaign would make the budget vacuous"
+        );
+        streamed.run.summary.masks.len()
+    })
+}
+
+/// The streaming engine's bounded-memory claim, always-on at a small
+/// scale: peak heap growth of a full streaming campaign stays under
+/// half the eager engine's. (At this scale fixed overheads — channel
+/// buffers, the retained population, per-probe scratch — still loom
+/// large; the ratio tightens as the world grows, which the `50k` and
+/// million-host soaks below pin at ≤25%.)
+#[test]
+fn streaming_campaign_peak_heap_stays_under_half_of_eager() {
+    let config = spfail_world::WorldConfig {
+        seed: 0x5bf2_a117,
+        scale: 0.01,
+        ..spfail_world::WorldConfig::default()
+    };
+    let (eager_peak, eager_hosts) = eager_campaign_peak(&config);
+    let (streaming_peak, streamed_hosts) = streaming_campaign_peak(&config);
+    assert_eq!(eager_hosts, streamed_hosts, "both modes probed the same world");
+    eprintln!(
+        "alloc_count: {eager_hosts}-host campaign peak heap: eager {:.1} MiB, \
+         streaming {:.1} MiB ({:.1}%)",
+        eager_peak as f64 / (1 << 20) as f64,
+        streaming_peak as f64 / (1 << 20) as f64,
+        100.0 * streaming_peak as f64 / eager_peak.max(1) as f64,
+    );
+    assert!(
+        streaming_peak * 2 <= eager_peak,
+        "streaming peak heap ({streaming_peak} B) must stay under half the eager \
+         engine's ({eager_peak} B) even at {eager_hosts} hosts"
+    );
+}
+
+/// The ISSUE-9 acceptance budget: at a ~50K-host world the streaming
+/// campaign's peak heap is ≤25% of the eager engine's. Release-mode
+/// soak — minutes of wall clock — so it is `#[ignore]`d out of tier-1
+/// and run by the scheduled CI soak job (`cargo test --release -p
+/// spfail-bench --test alloc_count -- --ignored 50k_hosts`).
+#[test]
+#[ignore = "release-mode soak (~50K hosts); run with --ignored"]
+fn streaming_peak_heap_is_quarter_of_eager_at_50k_hosts() {
+    // Default demographics put ~191K unique server addresses at scale
+    // 1.0, so 0.26 lands within a few percent of 50K hosts.
+    let config = spfail_world::WorldConfig {
+        seed: 0x5bf2_a117,
+        scale: 0.26,
+        ..spfail_world::WorldConfig::default()
+    };
+    let (eager_peak, hosts) = eager_campaign_peak(&config);
+    let (streaming_peak, streamed_hosts) = streaming_campaign_peak(&config);
+    assert_eq!(hosts, streamed_hosts);
+    assert!(hosts >= 40_000, "world too small for the 50K budget ({hosts} hosts)");
+    eprintln!(
+        "alloc_count: {hosts}-host soak peak heap: eager {:.1} MiB, streaming \
+         {:.1} MiB ({:.1}%)",
+        eager_peak as f64 / (1 << 20) as f64,
+        streaming_peak as f64 / (1 << 20) as f64,
+        100.0 * streaming_peak as f64 / eager_peak.max(1) as f64,
+    );
+    assert!(
+        streaming_peak * 4 <= eager_peak,
+        "streaming peak heap ({streaming_peak} B) exceeded 25% of eager \
+         ({eager_peak} B) at {hosts} hosts"
+    );
+}
+
+/// The million-host soak: the streaming engine completes a campaign the
+/// eager engine's O(hosts) residency makes impractical, within a flat
+/// absolute budget — O(shards + tracked + masks) in practice means the
+/// 4-byte mask column plus the retained few percent. `#[ignore]`d:
+/// ~a minute of release-mode wall clock; the scheduled CI soak job
+/// runs it.
+#[test]
+#[ignore = "release-mode soak (~1M hosts, long); run with --ignored"]
+fn streaming_campaign_completes_a_million_host_world_within_budget() {
+    let config = spfail_world::WorldConfig {
+        seed: 0x5bf2_a117,
+        scale: 5.4,
+        ..spfail_world::WorldConfig::default()
+    };
+    let (streaming_peak, hosts) = streaming_campaign_peak(&config);
+    assert!(hosts >= 1_000_000, "world too small for the soak ({hosts} hosts)");
+    eprintln!(
+        "alloc_count: {hosts}-host streaming soak peak heap growth {:.1} MiB",
+        streaming_peak as f64 / (1 << 20) as f64,
+    );
+    // 48 B/host covers the mask column and retention bookkeeping with
+    // 12x headroom; the flat term covers the retained population and
+    // per-round maps. The eager engine's world alone (records, names,
+    // profiles) wants well over a gigabyte before probing starts.
+    let budget = hosts as u64 * 48 + (512 << 20);
+    assert!(
+        streaming_peak <= budget,
+        "streaming peak heap {streaming_peak} B exceeded the {budget} B budget \
+         at {hosts} hosts"
+    );
+}

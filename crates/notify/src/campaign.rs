@@ -6,7 +6,7 @@ use spfail_mta::mta::ConnectDecision;
 use spfail_netsim::SimRng;
 use spfail_smtp::address::EmailAddress;
 use spfail_smtp::command::Command;
-use spfail_world::{DomainId, HostId, PatchCause, Timeline, World};
+use spfail_world::{DomainId, HostId, PatchCause, Population, Timeline, World};
 
 use crate::pixel::PixelLog;
 
@@ -89,12 +89,13 @@ impl NotificationCampaign {
     /// sweep (the notification list is built from measured data, exactly
     /// as in the paper).
     pub fn run(
-        world: &World,
+        world: &dyn Population,
         vulnerable_domains: &[DomainId],
         pixel_log: &mut PixelLog,
     ) -> (Vec<NotificationRecord>, NotificationReport) {
-        let mut rng = world.fork_rng("notify");
-        world
+        let runtime = world.runtime();
+        let mut rng = runtime.fork_rng("notify");
+        runtime
             .clock
             .advance_to(Timeline::day_to_time(Timeline::PRIVATE_NOTIFICATION));
 
@@ -106,7 +107,7 @@ impl NotificationCampaign {
             .txt(&origin, 300, "v=spf1 ip4:198.51.100.53 -all")
             .a(&origin, 300, "198.51.100.53".parse().expect("static address"))
             .build();
-        world
+        runtime
             .directory
             .register(std::sync::Arc::new(spfail_dns::StaticAuthority::new(zone)));
 
@@ -188,7 +189,7 @@ impl NotificationCampaign {
     /// (RFC 5321 §4.5.1 requires it to exist — bounces are hosts that
     /// violate that).
     fn deliver(
-        world: &World,
+        world: &dyn Population,
         rng: &mut SimRng,
         domain: DomainId,
         token: &str,
@@ -215,7 +216,7 @@ impl NotificationCampaign {
     }
 
     fn deliver_once(
-        _world: &World,
+        _world: &dyn Population,
         rng: &mut SimRng,
         mta: &mut spfail_mta::Mta,
         record: &spfail_world::DomainRecord,
@@ -317,7 +318,7 @@ impl NotificationCampaign {
 
     /// Derive the §7.7 funnel from the records and the world's ground
     /// truth.
-    fn report(world: &World, records: &[NotificationRecord]) -> NotificationReport {
+    fn report(world: &dyn Population, records: &[NotificationRecord]) -> NotificationReport {
         let mut report = NotificationReport {
             sent: records.len(),
             ..NotificationReport::default()

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use spfail_netsim::{FaultProfile, MetricsSnapshot, PolicyCacheStats, SimDuration};
 use spfail_trace::{Phase, Trace, TraceConfig};
-use spfail_world::{DomainId, HostId, Timeline, World};
+use spfail_world::{DomainId, HostId, Population, Timeline, World};
 
 use crate::classify::Classification;
 use crate::ethics::EthicsAudit;
@@ -237,7 +237,7 @@ impl CampaignData {
 
     /// A domain's status on `day` (with inference): vulnerable while any
     /// initially-vulnerable host remains vulnerable; patched once all are.
-    pub fn domain_status(&self, world: &World, domain: DomainId, day: u16) -> RoundStatus {
+    pub fn domain_status(&self, world: &dyn Population, domain: DomainId, day: u16) -> RoundStatus {
         let vulnerable_hosts: Vec<HostId> = world
             .domain(domain)
             .hosts
@@ -295,6 +295,13 @@ impl CampaignTiming {
 pub struct CampaignRun {
     /// The campaign's measurements.
     pub data: CampaignData,
+    /// The mode-independent comparison surface: initial results as
+    /// [`HostMask`](crate::HostMask)s plus the longitudinal fields.
+    /// Streaming and eager runs of the same configuration produce equal
+    /// summaries bit for bit (`tests/streaming_equivalence.rs`); like
+    /// `cache`, it is derived bookkeeping and excluded from run equality
+    /// (`data.initial` already carries the same information eagerly).
+    pub summary: crate::CampaignSummary,
     /// Per-phase simulated busy time, when requested with
     /// [`CampaignBuilder::timed`].
     pub timing: Option<CampaignTiming>,
@@ -349,6 +356,9 @@ pub struct CampaignBuilder {
     pub(crate) incremental: bool,
     /// Inverted so the zero-value default keeps the cache *on*.
     pub(crate) no_policy_cache: bool,
+    /// Streaming is an execution strategy, not measurement state: it is
+    /// never checkpointed, and a resumed campaign may run in either mode.
+    pub(crate) streaming: bool,
 }
 
 impl CampaignBuilder {
@@ -414,20 +424,52 @@ impl CampaignBuilder {
         self
     }
 
+    /// Run the campaign in streaming mode: synthesize each host on
+    /// demand from the world seed instead of reading a materialized
+    /// [`World`], and fold initial results into bounded-size
+    /// [`HostMask`](crate::HostMask)/[`OnlineAggregate`](crate::OnlineAggregate)
+    /// summaries. Peak memory is O(tracked + aggregate) instead of
+    /// O(hosts); the longitudinal measurements, traces, exhibits, and
+    /// checkpoints are bit-for-bit those of eager mode
+    /// (`tests/streaming_equivalence.rs`).
+    pub fn streaming(mut self) -> CampaignBuilder {
+        self.streaming = true;
+        self
+    }
+
     /// Open a staged [`Session`](crate::Session) for this configuration:
     /// the caller drives `initial_sweep` → `advance_round`* → `finish`
     /// explicitly and may checkpoint between stages.
-    pub fn session(self, world: &World) -> crate::Session<'_> {
+    pub fn session<'w>(self, world: &'w dyn Population) -> crate::Session<'w> {
         crate::Session::new(self, world)
     }
 
     /// Run the configured campaign against `world` — the staged
-    /// [`Session`](crate::Session) driven end to end in one call.
+    /// [`Session`](crate::Session) driven end to end in one call. With
+    /// [`CampaignBuilder::streaming`] toggled the world is re-synthesized
+    /// lazily from its config (the materialized `world` is only read for
+    /// its seed and scale).
     pub fn run(self, world: &World) -> CampaignRun {
+        if self.streaming {
+            return self.run_streaming(world.config.clone()).run;
+        }
         let mut session = self.session(world);
         session.initial_sweep();
         while session.advance_round().is_some() {}
         session.finish()
+    }
+
+    /// Run the configured campaign in streaming mode: hosts are
+    /// synthesized on demand from the world seed and folded into
+    /// bounded-size aggregates, so peak memory is O(tracked + aggregate)
+    /// instead of O(hosts) — with [`CampaignData`]'s longitudinal fields,
+    /// traces, exhibits, and checkpoints bit-for-bit identical to
+    /// [`CampaignBuilder::run`] on the eagerly generated world. The
+    /// initial per-host results exist only as
+    /// [`HostMask`](crate::HostMask)s: `run.data.initial` is empty and
+    /// [`CampaignRun::summary`] carries the comparison surface.
+    pub fn run_streaming(self, config: spfail_world::WorldConfig) -> crate::StreamingRun {
+        crate::streaming::run_streaming(self, config)
     }
 }
 
@@ -487,7 +529,7 @@ impl Campaign {
     /// only the merged sweep results, never the probing surfaces, so
     /// both engines share it verbatim.
     pub(crate) fn derive_tracking(
-        world: &World,
+        world: &dyn Population,
         initial: &InitialMeasurement,
     ) -> (Vec<HostId>, Vec<DomainId>, HashMap<HostId, ProbeTest>) {
         // Track the vulnerable plus the transient-but-remeasurable.
@@ -499,17 +541,7 @@ impl Campaign {
         }
         tracked.sort();
 
-        let mut vulnerable_domains: Vec<DomainId> = (0..world.domains.len() as u32)
-            .map(DomainId)
-            .filter(|&d| {
-                world
-                    .domain(d)
-                    .hosts
-                    .iter()
-                    .any(|h| tracked.binary_search(h).is_ok())
-            })
-            .collect();
-        vulnerable_domains.sort();
+        let vulnerable_domains = world.derive_vulnerable_domains(&tracked);
 
         let preferred: HashMap<HostId, ProbeTest> = tracked
             .iter()
@@ -556,7 +588,7 @@ impl Campaign {
     /// deduplicated, sorted union (each host is probed exactly once even
     /// when domains share servers).
     pub(crate) fn snapshot_targets(
-        world: &World,
+        world: &dyn Population,
         vulnerable_domains: &[DomainId],
         tracked: &[HostId],
     ) -> (Vec<HostId>, Vec<(DomainId, Vec<HostId>)>) {

@@ -69,6 +69,13 @@ pub struct CampaignState {
     pub rounds_busy: SimDuration,
     /// Probe-volume counters so far.
     pub stats: SessionStats,
+    /// Streaming sessions only: the initial sweep compressed to one
+    /// [`HostMask`](crate::HostMask) per host (index = host id), written
+    /// as a versioned `aggregate v1` section. When present, `initial`
+    /// is empty — the masks are the sweep's record. Checkpoints without
+    /// the section (every eager checkpoint, and every file written
+    /// before the section existed) parse exactly as before.
+    pub masks: Option<Vec<u32>>,
     /// The initial sweep's per-host results, host-sorted.
     pub initial: Vec<(HostId, HostInitialResult)>,
     /// Completed rounds: `(day, host-sorted statuses)`.
@@ -498,6 +505,18 @@ impl CampaignState {
             }
             out.push('\n');
         }
+        if let Some(masks) = &self.masks {
+            // The versioned aggregate section: a declared host count,
+            // then rows of up to 64 masks packed as fixed-width hex.
+            let _ = writeln!(out, "aggregate v1 {}", masks.len());
+            for (row, chunk) in masks.chunks(64).enumerate() {
+                let _ = write!(out, "amask {}", row * 64);
+                for m in chunk {
+                    let _ = write!(out, " {m:08x}");
+                }
+                out.push('\n');
+            }
+        }
         for (day, statuses) in &self.rounds {
             let _ = writeln!(out, "round {day}");
             for (host, status) in statuses {
@@ -548,6 +567,7 @@ impl CampaignState {
         let mut ethics_total = EthicsAudit::default();
         let mut network_total = MetricsSnapshot::default();
         let mut merged_counts = Vec::new();
+        let mut masks: Option<(usize, Vec<u32>)> = None;
         let mut initial = Vec::new();
         let mut rounds: Vec<(u16, Vec<(HostId, RoundStatus)>)> = Vec::new();
         let mut workers: Vec<WorkerState> = Vec::new();
@@ -695,6 +715,39 @@ impl CampaignState {
                     };
                     initial.push((host, HostInitialResult { nomsg, blankmsg }));
                 }
+                "aggregate" => {
+                    let [version, count] = toks[..] else {
+                        return Err(err("aggregate wants version and count".to_string()));
+                    };
+                    if version != "v1" {
+                        return Err(err(format!("unknown aggregate version {version:?}")));
+                    }
+                    if masks.is_some() {
+                        return Err(err("duplicate aggregate section".to_string()));
+                    }
+                    masks = Some((parse_num(count, "host count").map_err(err)?, Vec::new()));
+                }
+                "amask" => {
+                    let Some((_, column)) = masks.as_mut() else {
+                        return Err(err("amask before aggregate header".to_string()));
+                    };
+                    let [first, row @ ..] = &toks[..] else {
+                        return Err(err("amask wants a first-host index".to_string()));
+                    };
+                    let first: usize = parse_num(first, "first host").map_err(err)?;
+                    if first != column.len() {
+                        return Err(err(format!(
+                            "amask row starts at host {first}, expected {}",
+                            column.len()
+                        )));
+                    }
+                    for tok in row {
+                        column.push(
+                            u32::from_str_radix(tok, 16)
+                                .map_err(|_| err(format!("bad mask {tok:?}")))?,
+                        );
+                    }
+                }
                 "round" => {
                     let [day] = toks[..] else {
                         return Err(err("round wants 1 operand".to_string()));
@@ -788,8 +841,23 @@ impl CampaignState {
             },
             incremental,
             no_policy_cache,
+            // An execution strategy, not measurement state: a resumed
+            // campaign picks its own mode.
+            streaming: false,
         };
         let (initial_busy, rounds_busy) = busy.ok_or("missing busy line")?;
+        let masks = match masks {
+            Some((declared, column)) => {
+                if column.len() != declared {
+                    return Err(format!(
+                        "aggregate section declares {declared} hosts but carries {}",
+                        column.len()
+                    ));
+                }
+                Some(column)
+            }
+            None => None,
+        };
         Ok(CampaignState {
             builder,
             world_seed,
@@ -798,6 +866,7 @@ impl CampaignState {
             initial_busy,
             rounds_busy,
             stats,
+            masks,
             initial,
             rounds,
             ethics_total,
@@ -871,6 +940,7 @@ mod tests {
                 trace: TraceConfig { enabled: true },
                 incremental: true,
                 no_policy_cache: true,
+                streaming: false,
             },
             world_seed: 2024,
             world_scale: 0.004,
@@ -881,6 +951,7 @@ mod tests {
                 round_probes_issued: 11,
                 round_probes_skipped: 44,
             },
+            masks: None,
             initial: vec![
                 (
                     HostId(3),
@@ -954,6 +1025,46 @@ mod tests {
         assert_eq!(parsed, state);
         // And the canonical text form is a fixed point.
         assert_eq!(parsed.to_text(), text);
+    }
+
+    /// A streamed state carries its sweep as the `aggregate v1` section
+    /// (no init lines) and round-trips just like the eager form.
+    #[test]
+    fn aggregate_section_round_trips_exactly() {
+        let mut state = sample_state();
+        state.initial.clear();
+        // More than one packed row, with high bits set.
+        state.masks = Some((0..150u32).map(|i| i.wrapping_mul(0x9e37_79b9)).collect());
+        let text = state.to_text();
+        assert!(text.contains("aggregate v1 150\n"));
+        assert!(text.contains("amask 0 "));
+        assert!(text.contains("amask 64 "));
+        assert!(text.contains("amask 128 "));
+        let parsed = CampaignState::parse(&text).expect("parses");
+        assert_eq!(parsed, state);
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn truncated_aggregate_sections_are_rejected() {
+        let mut state = sample_state();
+        state.initial.clear();
+        state.masks = Some(vec![0x0001_0000; 70]);
+        let text = state.to_text();
+        // Drop the second mask row: the declared count no longer matches.
+        let truncated = text
+            .lines()
+            .filter(|l| !l.starts_with("amask 64"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(CampaignState::parse(&truncated).is_err());
+        // An orphan mask row (no header) is rejected too.
+        let headerless = text
+            .lines()
+            .filter(|l| !l.starts_with("aggregate "))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(CampaignState::parse(&headerless).is_err());
     }
 
     #[test]

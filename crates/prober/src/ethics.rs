@@ -174,6 +174,18 @@ impl EthicsGuard {
         self.tested_this_sweep.clear();
         self.in_flight = 0;
     }
+
+    /// Drop the contact history of every address not in `keep` (sorted).
+    /// Sound only when the dropped addresses will never be contacted
+    /// again by this guard: the contact history only influences spacing
+    /// decisions for repeat contacts, so forgetting one-shot addresses
+    /// is invisible. The audit counters are untouched.
+    pub fn contacts_retain(&mut self, keep: &[IpAddr]) {
+        self.last_contact
+            .retain(|ip, _| keep.binary_search(ip).is_ok());
+        self.tested_this_sweep
+            .retain(|ip, _| keep.binary_search(ip).is_ok());
+    }
 }
 
 #[cfg(test)]

@@ -31,13 +31,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod campaign;
 pub mod checkpoint;
 pub mod classify;
 pub mod ethics;
 pub mod probe;
 pub mod session;
+pub mod streaming;
 
+pub use aggregate::{CampaignSummary, HostMask, OnlineAggregate, BEHAVIOR_BITS, SERIES_BUCKETS};
 pub use campaign::{
     partition_hosts, shard_of, CampaignBuilder, CampaignData, CampaignRun,
     CampaignTiming, HostClass, HostInitialResult, InitialMeasurement, RoundStatus,
@@ -53,4 +56,5 @@ pub use probe::{
     CONNECT_TIMEOUT,
 };
 pub use session::{Session, SessionStats};
+pub use streaming::{StreamedCampaign, StreamingRun};
 pub use spfail_trace::{Trace, TraceConfig, Tracer};

@@ -18,7 +18,7 @@ use spfail_smtp::client::{
 };
 use spfail_smtp::session::SessionState;
 use spfail_trace::{SpanKind, Tracer};
-use spfail_world::{HostId, MtaInstrumentation, Timeline, World};
+use spfail_world::{HostId, HostRecord, MtaInstrumentation, Population, Timeline};
 
 use crate::classify::{classify, Classification, RESERVED_ID_LABELS};
 use crate::ethics::{EthicsGuard, GREYLIST_WAIT, MAX_CONCURRENT, MIN_RECONTACT};
@@ -190,26 +190,29 @@ pub struct ProbeContext {
 }
 
 impl ProbeContext {
-    /// The world's own directory, log, and clock (sequential probing).
-    pub fn shared(world: &World) -> ProbeContext {
+    /// The population's own directory, log, and clock (sequential
+    /// probing).
+    pub fn shared(pop: &dyn Population) -> ProbeContext {
+        let runtime = pop.runtime();
         ProbeContext {
-            directory: world.directory.clone(),
-            query_log: world.query_log.clone(),
-            clock: world.clock.clone(),
+            directory: runtime.directory.clone(),
+            query_log: runtime.query_log.clone(),
+            clock: runtime.clock.clone(),
             tracer: Tracer::disabled(),
             policy_cache: None,
         }
     }
 
     /// A private directory, log, and clock for one shard worker. The
-    /// clock starts at the world's current time; the directory holds a
-    /// fresh measurement-zone authority recording into the private log.
-    pub fn isolated(world: &World) -> ProbeContext {
-        let clock = SimClock::starting_at(world.clock.now());
+    /// clock starts at the population's current time; the directory holds
+    /// a fresh measurement-zone authority recording into the private log.
+    pub fn isolated(pop: &dyn Population) -> ProbeContext {
+        let runtime = pop.runtime();
+        let clock = SimClock::starting_at(runtime.clock.now());
         let query_log = QueryLog::new();
         let directory = Directory::new();
         directory.register(Arc::new(SpfTestAuthority::new(
-            world.zone_origin.clone(),
+            runtime.zone_origin.clone(),
             query_log.clone(),
         )));
         ProbeContext {
@@ -338,7 +341,7 @@ impl ProbeOutcome {
 /// which is the property the sharded campaign engine's shard-count
 /// invariance rests on.
 pub struct Prober<'w> {
-    world: &'w World,
+    pop: &'w dyn Population,
     /// The per-campaign suite label (§5.1: unique per test suite).
     pub suite: String,
     source_ip: IpAddr,
@@ -356,10 +359,10 @@ pub struct Prober<'w> {
 }
 
 impl<'w> Prober<'w> {
-    /// A prober for `world` with the given suite label, probing through
-    /// the world's shared context.
-    pub fn new(world: &'w World, suite: &str) -> Prober<'w> {
-        Prober::with_context(world, suite, ProbeContext::shared(world), MAX_CONCURRENT)
+    /// A prober for `pop` with the given suite label, probing through
+    /// the population's shared context.
+    pub fn new(pop: &'w dyn Population, suite: &str) -> Prober<'w> {
+        Prober::with_context(pop, suite, ProbeContext::shared(pop), MAX_CONCURRENT)
     }
 
     /// A prober probing through an explicit context with an explicit
@@ -370,26 +373,26 @@ impl<'w> Prober<'w> {
     /// the context or budget — so probers on different shards draw from
     /// the same per-probe streams.
     pub fn with_context(
-        world: &'w World,
+        pop: &'w dyn Population,
         suite: &str,
         ctx: ProbeContext,
         max_concurrent: usize,
     ) -> Prober<'w> {
-        Prober::with_options(world, suite, ctx, max_concurrent, ProbeOptions::default())
+        Prober::with_options(pop, suite, ctx, max_concurrent, ProbeOptions::default())
     }
 
     /// [`Prober::with_context`] with an explicit fault profile and retry
     /// policy. The default options inject nothing and never retry.
     pub fn with_options(
-        world: &'w World,
+        pop: &'w dyn Population,
         suite: &str,
         ctx: ProbeContext,
         max_concurrent: usize,
         options: ProbeOptions,
     ) -> Prober<'w> {
-        let base_rng = world.fork_rng(&format!("prober-{suite}"));
+        let base_rng = pop.runtime().fork_rng(&format!("prober-{suite}"));
         Prober {
-            world,
+            pop,
             suite: suite.to_string(),
             source_ip: "203.0.113.25".parse().expect("static address"),
             ethics: EthicsGuard::with_budget(ctx.clock.clone(), max_concurrent),
@@ -464,6 +467,23 @@ impl<'w> Prober<'w> {
         self.occurrences = entries.into_iter().collect();
     }
 
+    /// Drop the probe-repetition counters of every host not in `keep`
+    /// (sorted). Sound only when those hosts will never be probed again
+    /// on this prober — the streaming sweep prunes to the tracked set,
+    /// whose future probes are the only ones the counters can affect.
+    pub(crate) fn occurrences_retain(&mut self, keep: &[HostId]) {
+        self.occurrences
+            .retain(|&(h, _, _, _), _| keep.binary_search(&HostId(h)).is_ok());
+    }
+
+    /// Replace the context's compiled-policy cache with `cache` — the
+    /// streaming handoff passes the sweep's warm cache to the rebuilt
+    /// round worker, mirroring the eager sequential engine's single
+    /// long-lived prober.
+    pub(crate) fn set_policy_cache(&mut self, cache: Option<PolicyCacheHandle>) {
+        self.ctx.policy_cache = cache;
+    }
+
     /// Whether the *next* probe with this exact identity would hit the
     /// host's flaky roll, without issuing it.
     ///
@@ -493,7 +513,7 @@ impl<'w> Prober<'w> {
             host.0
         ));
         let _ = Self::probe_id(&mut rng, &self.suite);
-        rng.chance(self.world.host(host).profile.flaky)
+        rng.chance(self.pop.host(host).profile.flaky)
     }
 
     /// Generate the next unique probe id: a 4–5 character alphanumeric
@@ -552,6 +572,22 @@ impl<'w> Prober<'w> {
         test: ProbeTest,
         extra_connections: u32,
     ) -> ProbeOutcome {
+        let record = self.pop.host(host);
+        self.probe_attempt_record(host, record, day, test, extra_connections)
+    }
+
+    /// One attempt with the host's record passed in instead of looked up
+    /// — the streamed sweep's spelling, where the record exists only for
+    /// the lifetime of its synthesis step and the prober's population
+    /// holds no records at all.
+    fn probe_attempt_record(
+        &mut self,
+        host: HostId,
+        record: &HostRecord,
+        day: u16,
+        test: ProbeTest,
+        extra_connections: u32,
+    ) -> ProbeOutcome {
         let test_tag = test.tag();
         let occurrence = {
             let counter = self
@@ -567,7 +603,6 @@ impl<'w> Prober<'w> {
             host.0
         ));
         let id = Self::probe_id(&mut rng, &self.suite);
-        let record = self.world.host(host);
 
         // Transient flakiness: the host is unreachable this round. The
         // failed attempt is not free — it consumes the connect timeout
@@ -666,8 +701,9 @@ impl<'w> Prober<'w> {
             "dns-h{}-d{day}-t{test_tag}-x{extra_connections}-n{occurrence}",
             host.0
         );
-        let mut mta = self.world.build_mta_instrumented(
+        let mut mta = self.pop.runtime().build_mta_record(
             host,
+            record,
             day,
             self.ctx.directory.clone(),
             self.ctx.clock.clone(),
@@ -695,7 +731,7 @@ impl<'w> Prober<'w> {
             "{}.{}.{}",
             id,
             self.suite,
-            self.world.zone_origin.to_ascii()
+            self.pop.runtime().zone_origin.to_ascii()
         );
         // The MTA's resolver reports into this prober's metrics; the
         // delta across the transaction tells us whether injected DNS
@@ -717,7 +753,7 @@ impl<'w> Prober<'w> {
             }
         });
         let entries = self.ctx.query_log.entries_from(log_start);
-        let classification = classify(&entries, &id, &self.suite, &self.world.zone_origin);
+        let classification = classify(&entries, &id, &self.suite, &self.pop.runtime().zone_origin);
 
         ProbeOutcome {
             host,
@@ -747,13 +783,28 @@ impl<'w> Prober<'w> {
         test: ProbeTest,
         extra_connections: u32,
     ) -> (ProbeOutcome, u32) {
+        let record = self.pop.host(host);
+        self.probe_with_retry_record(host, record, day, test, extra_connections)
+    }
+
+    /// [`Prober::probe_with_retry`] with the host's record passed in
+    /// instead of looked up — the streamed sweep probes each host while
+    /// its record exists, over a population that retains nothing.
+    pub fn probe_with_retry_record(
+        &mut self,
+        host: HostId,
+        record: &HostRecord,
+        day: u16,
+        test: ProbeTest,
+        extra_connections: u32,
+    ) -> (ProbeOutcome, u32) {
         let started = self.ctx.clock.now();
         // The whole retried sequence is one probe record: attempts and
         // their `retry_wait` backoffs are children of a single span.
         self.ctx
             .tracer
             .begin_probe(started, host.0, day, test.tag(), extra_connections);
-        let mut outcome = self.probe_attempt(host, day, test, extra_connections);
+        let mut outcome = self.probe_attempt_record(host, record, day, test, extra_connections);
         let mut attempts = 1u32;
         let max_attempts = self.options.retry.max_attempts.max(1);
         while attempts < max_attempts {
@@ -783,7 +834,7 @@ impl<'w> Prober<'w> {
                 .tracer
                 .exit(self.ctx.clock.now(), SpanKind::RetryWait, "backoff");
             self.metrics.inc_probe_retries();
-            outcome = self.probe_attempt(host, day, test, extra_connections);
+            outcome = self.probe_attempt_record(host, record, day, test, extra_connections);
             attempts += 1;
         }
         if attempts > 1 && outcome.spf_measured() {
@@ -937,7 +988,7 @@ fn base36(mut n: u64) -> String {
 mod tests {
     use super::*;
     use spfail_netsim::{FaultPlan, FlakyWindow};
-    use spfail_world::WorldConfig;
+    use spfail_world::{World, WorldConfig};
 
     fn world() -> World {
         World::generate(WorldConfig::small(123))

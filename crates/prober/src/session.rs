@@ -61,8 +61,9 @@ use std::path::Path;
 use spfail_dns::QueryLog;
 use spfail_netsim::{MetricsSnapshot, PolicyCacheStats, SimDuration, SimTime};
 use spfail_trace::{Trace, Tracer};
-use spfail_world::{DomainId, HostId, Timeline, World};
+use spfail_world::{DomainId, HostId, Population, Timeline};
 
+use crate::aggregate::{CampaignSummary, HostMask};
 use crate::campaign::{
     partition_hosts, Campaign, CampaignBuilder, CampaignData, CampaignRun, CampaignTiming,
     InitialMeasurement, RoundStatus,
@@ -96,7 +97,7 @@ struct Worker<'w> {
 
 /// A staged, checkpointable campaign run. See the module docs.
 pub struct Session<'w> {
-    world: &'w World,
+    pop: &'w dyn Population,
     builder: CampaignBuilder,
     /// Rounds completed so far (index into `Timeline::all_round_days()`).
     rounds_done: usize,
@@ -129,14 +130,20 @@ pub struct Session<'w> {
     /// Sharded only: per-host attempt counts merged from the initial
     /// phase, consumed when the round workers are created.
     merged_counts: HashMap<HostId, u32>,
+    /// Streaming mode: the initial sweep's per-host results compressed
+    /// to one [`HostMask`] per host (index = host id). When set, the
+    /// session's `initial` is an empty sentinel (the sweep ran, its
+    /// results live here) and [`Session::finish`] builds the run's
+    /// summary from these masks.
+    streamed: Option<Vec<u32>>,
 }
 
 impl<'w> Session<'w> {
-    /// A fresh session for `builder` against `world`.
+    /// A fresh session for `builder` against `pop`.
     /// [`CampaignBuilder::session`] is the public spelling.
-    pub(crate) fn new(builder: CampaignBuilder, world: &'w World) -> Session<'w> {
+    pub(crate) fn new(builder: CampaignBuilder, pop: &'w dyn Population) -> Session<'w> {
         Session {
-            world,
+            pop,
             builder,
             rounds_done: 0,
             full_rescan_next: false,
@@ -155,6 +162,7 @@ impl<'w> Session<'w> {
             stats: SessionStats::default(),
             workers: Vec::new(),
             merged_counts: HashMap::new(),
+            streamed: None,
         }
     }
 
@@ -207,8 +215,11 @@ impl<'w> Session<'w> {
             self.initial.is_none(),
             "Session::initial_sweep: the initial sweep already ran"
         );
-        let world = self.world;
-        let all_hosts: Vec<HostId> = (0..world.hosts.len() as u32).map(HostId).collect();
+        let world = self.pop;
+        let host_count = world
+            .full_host_count()
+            .expect("the eager initial sweep needs the full population");
+        let all_hosts: Vec<HostId> = (0..host_count as u32).map(HostId).collect();
         if !self.sharded() {
             let tracer = Tracer::new(self.builder.trace);
             let mut prober = Prober::with_options(
@@ -313,7 +324,7 @@ impl<'w> Session<'w> {
     /// tracked).
     fn note_tracking(&mut self, initial: &InitialMeasurement) {
         let (tracked, vulnerable_domains, preferred) =
-            Campaign::derive_tracking(self.world, initial);
+            Campaign::derive_tracking(self.pop, initial);
         self.last_conclusive = tracked
             .iter()
             .map(|&h| (h, (Timeline::INITIAL, RoundStatus::Vulnerable)))
@@ -349,9 +360,9 @@ impl<'w> Session<'w> {
         for part in partition_hosts(&self.tracked, shards) {
             let tracer = Tracer::new(self.builder.trace);
             let prober = Prober::with_options(
-                self.world,
+                self.pop,
                 "s1",
-                ProbeContext::isolated(self.world)
+                ProbeContext::isolated(self.pop)
                     .with_tracer(tracer.clone())
                     .with_policy_cache(self.cache_enabled()),
                 budget,
@@ -387,7 +398,7 @@ impl<'w> Session<'w> {
         }
         let incremental = self.builder.incremental;
         let full_rescan = self.full_rescan_next;
-        let world = self.world;
+        let world = self.pop;
         let preferred = &self.preferred;
         let last_conclusive = &self.last_conclusive;
         let workers = &mut self.workers;
@@ -453,7 +464,7 @@ impl<'w> Session<'w> {
             0,
             "Session::finish: advance_round until all rounds have run"
         );
-        let world = self.world;
+        let world = self.pop;
         let opts = self.builder.options;
         let trace = self.builder.trace;
         let sharded = self.sharded();
@@ -582,9 +593,10 @@ impl<'w> Session<'w> {
             // engine leaves them: clock at the snapshot day, query log
             // holding the snapshot phase's queries in simulated-time
             // order.
-            world.clock.advance_to(Timeline::day_to_time(Timeline::END));
-            world.query_log.clear();
-            world
+            let runtime = world.runtime();
+            runtime.clock.advance_to(Timeline::day_to_time(Timeline::END));
+            runtime.query_log.clear();
+            runtime
                 .query_log
                 .extend(QueryLog::merged(snapshot_logs.iter()).snapshot());
         }
@@ -598,6 +610,20 @@ impl<'w> Session<'w> {
             vulnerable_domains: self.vulnerable_domains,
             ethics: self.ethics_total,
             network: self.network_total,
+        };
+        // The cross-mode comparison surface: a streamed session carried
+        // its initial results as masks; an eager one compresses them now.
+        let summary = match self.streamed.take() {
+            Some(masks) => CampaignSummary {
+                masks,
+                tracked: data.tracked.clone(),
+                vulnerable_domains: data.vulnerable_domains.clone(),
+                rounds: data.rounds.clone(),
+                snapshot: data.snapshot.clone(),
+                ethics: data.ethics.clone(),
+                network: data.network,
+            },
+            None => CampaignSummary::from_data(&data),
         };
         let timing = CampaignTiming {
             initial: self.initial_busy,
@@ -613,6 +639,7 @@ impl<'w> Session<'w> {
         let cache = (!self.builder.no_policy_cache).then_some(self.cache_total);
         CampaignRun {
             data,
+            summary,
             timing: self.builder.timed.then_some(timing),
             trace,
             cache,
@@ -685,10 +712,12 @@ impl<'w> Session<'w> {
             .map(|(&h, &n)| (h, n))
             .collect();
         merged_counts.sort_by_key(|(h, _)| *h);
+        let config = &self.pop.runtime().config;
         CampaignState {
             builder: self.builder,
-            world_seed: self.world.config.seed,
-            world_scale: self.world.config.scale,
+            world_seed: config.seed,
+            world_scale: config.scale,
+            masks: self.streamed.clone(),
             rounds_done: self.rounds_done,
             initial_busy: self.initial_busy,
             rounds_busy: self.rounds_busy,
@@ -704,27 +733,71 @@ impl<'w> Session<'w> {
     }
 
     /// Rebuild a session from a [`CampaignState`] against `world`,
-    /// which must be the world the checkpointed session ran against
-    /// (same seed and scale — worlds are pure functions of those).
-    pub fn from_state(state: CampaignState, world: &'w World) -> Result<Session<'w>, String> {
-        if world.config.seed != state.world_seed {
+    /// which must be (a retained subset of) the world the checkpointed
+    /// session ran against (same seed and scale — worlds are pure
+    /// functions of those).
+    ///
+    /// A state carrying an aggregate section (written by a streaming
+    /// session) has no per-host initial results: tracking is derived
+    /// from the [`HostMask`] column instead, which preserves exactly the
+    /// predicates `Campaign::derive_tracking` reads. Either state
+    /// vintage restores against either population kind — mode can be
+    /// toggled across a stop/resume boundary.
+    pub fn from_state(state: CampaignState, world: &'w dyn Population) -> Result<Session<'w>, String> {
+        let config = &world.runtime().config;
+        if config.seed != state.world_seed {
             return Err(format!(
                 "checkpoint is for world seed {}, got {}",
-                state.world_seed, world.config.seed
+                state.world_seed, config.seed
             ));
         }
-        if world.config.scale.to_bits() != state.world_scale.to_bits() {
+        if config.scale.to_bits() != state.world_scale.to_bits() {
             return Err(format!(
                 "checkpoint is for world scale {}, got {}",
-                state.world_scale, world.config.scale
+                state.world_scale, config.scale
             ));
         }
         let mut session = Session::new(state.builder, world);
-        let initial = InitialMeasurement {
-            results: state.initial.into_iter().collect(),
-        };
-        session.note_tracking(&initial);
-        session.initial = Some(initial);
+        if let Some(masks) = state.masks {
+            if !state.initial.is_empty() {
+                return Err("checkpoint carries both init lines and an aggregate section".into());
+            }
+            // Aggregate branch: tracking from the mask column. Tracked
+            // hosts are exactly those whose mask has the vulnerable bit
+            // (`HostMask::tracked` mirrors `Campaign::derive_tracking`),
+            // and the preferred re-probe test is the conclusive test the
+            // mask recorded.
+            let tracked: Vec<HostId> = masks
+                .iter()
+                .enumerate()
+                .filter(|(_, &m)| HostMask(m).tracked())
+                .map(|(i, _)| HostId(i as u32))
+                .collect();
+            session.preferred = tracked
+                .iter()
+                .map(|&h| {
+                    let test = HostMask(masks[h.0 as usize])
+                        .measured_by()
+                        .unwrap_or(ProbeTest::BlankMsg);
+                    (h, test)
+                })
+                .collect();
+            session.last_conclusive = tracked
+                .iter()
+                .map(|&h| (h, (Timeline::INITIAL, RoundStatus::Vulnerable)))
+                .collect();
+            session.vulnerable_domains = world.derive_vulnerable_domains(&tracked);
+            session.tracked = tracked;
+            // The sweep ran; its per-host results live in the masks.
+            session.initial = Some(InitialMeasurement::default());
+            session.streamed = Some(masks);
+        } else {
+            let initial = InitialMeasurement {
+                results: state.initial.into_iter().collect(),
+            };
+            session.note_tracking(&initial);
+            session.initial = Some(initial);
+        }
         session.initial_busy = state.initial_busy;
         session.rounds_busy = state.rounds_busy;
         session.stats = state.stats;
@@ -821,12 +894,32 @@ impl<'w> Session<'w> {
 
     /// Continue a checkpointed session from `path` against `world` —
     /// the inverse of [`Session::checkpoint`].
-    pub fn restore(path: impl AsRef<Path>, world: &'w World) -> io::Result<Session<'w>> {
+    pub fn restore(path: impl AsRef<Path>, world: &'w dyn Population) -> io::Result<Session<'w>> {
         let text = std::fs::read_to_string(path)?;
         let state = CampaignState::parse(&text)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Session::from_state(state, world)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Streaming handoff only: hand the (single, sequential) worker the
+    /// live policy cache the streamed initial sweep warmed, so cache
+    /// tallies accumulate across the sweep→rounds boundary exactly as
+    /// the eager sequential engine's one long-lived prober does.
+    ///
+    /// # Panics
+    ///
+    /// If the session does not have exactly one worker.
+    pub(crate) fn adopt_policy_cache(&mut self, cache: Option<spfail_mta::PolicyCacheHandle>) {
+        assert_eq!(self.workers.len(), 1, "adopt_policy_cache: sequential only");
+        self.workers[0].prober.set_policy_cache(cache);
+    }
+
+    /// Streaming handoff only: seed the retired-worker cache tally with
+    /// the streamed initial sweep's stats (the sharded eager engine
+    /// merges its initial-phase workers' stats here at their retirement).
+    pub(crate) fn seed_cache_total(&mut self, stats: PolicyCacheStats) {
+        self.cache_total = self.cache_total.merge(&stats);
     }
 }
 
@@ -842,7 +935,7 @@ fn incremental_round_sweep(
     preferred: &HashMap<HostId, ProbeTest>,
     counts: &mut HashMap<HostId, u32>,
     last_conclusive: &HashMap<HostId, (u16, RoundStatus)>,
-    world: &World,
+    world: &dyn Population,
     full_rescan: bool,
 ) -> (HashMap<HostId, RoundStatus>, SimDuration, u64, u64) {
     prober

@@ -3,17 +3,22 @@
 //! ```text
 //! cargo run -p spfail-report --release --bin experiments -- \
 //!     [--scale 0.05] [--seed 0x5bf2a117] [--json exhibits.json] [--md EXPERIMENTS.md] \
-//!     [--only fig7,table3]
+//!     [--only fig7,table3] [--streaming]
 //! ```
 //!
 //! Prints each exhibit, and optionally writes the machine-readable JSON
 //! and a paper-vs-measured markdown record. `--only` selects exhibits
-//! from the registry by id (repeatable, comma-separable).
+//! from the registry by id (repeatable, comma-separable). `--streaming`
+//! runs the bounded-memory pipeline — same exhibits, bit for bit,
+//! without ever materializing the world.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use spfail_report::{all_exhibits, exhibit_by_id, Context, Exhibit, EXHIBIT_REGISTRY};
+use spfail_report::{
+    all_exhibits, all_exhibits_streaming, exhibit_by_id, Context, Exhibit, StreamContext,
+    EXHIBIT_REGISTRY,
+};
 
 struct Args {
     scale: f64,
@@ -22,6 +27,7 @@ struct Args {
     md_path: Option<String>,
     latex_dir: Option<String>,
     only: Vec<String>,
+    streaming: bool,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +38,7 @@ fn parse_args() -> Args {
         md_path: None,
         latex_dir: None,
         only: Vec::new(),
+        streaming: false,
     };
     let mut iter = std::env::args().skip(1);
     while let Some(flag) = iter.next() {
@@ -54,10 +61,11 @@ fn parse_args() -> Args {
             "--only" => args
                 .only
                 .extend(value("--only").split(',').map(str::to_string)),
+            "--streaming" => args.streaming = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: experiments [--scale F] [--seed N] [--json PATH] [--md PATH] \
-                     [--latex DIR] [--only ID[,ID...]]"
+                     [--latex DIR] [--only ID[,ID...]] [--streaming]"
                 );
                 eprintln!(
                     "exhibit ids: {}",
@@ -75,11 +83,20 @@ fn parse_args() -> Args {
     args
 }
 
+/// One pipeline run, whichever mode `--streaming` picked.
+enum Run {
+    Eager(Box<Context>),
+    Streaming(Box<StreamContext>),
+}
+
 /// The selected exhibits: the whole registry, or the `--only` ids in
 /// the order given.
-fn selected_exhibits(args: &Args, ctx: &Context) -> Vec<Exhibit> {
+fn selected_exhibits(args: &Args, run: &Run) -> Vec<Exhibit> {
     if args.only.is_empty() {
-        return all_exhibits(ctx);
+        return match run {
+            Run::Eager(ctx) => all_exhibits(ctx),
+            Run::Streaming(sc) => all_exhibits_streaming(sc),
+        };
     }
     args.only
         .iter()
@@ -94,7 +111,10 @@ fn selected_exhibits(args: &Args, ctx: &Context) -> Vec<Exhibit> {
                         .join(", ")
                 )
             });
-            (entry.build)(ctx)
+            match run {
+                Run::Eager(ctx) => (entry.build)(ctx),
+                Run::Streaming(sc) => (entry.build_streaming)(sc),
+            }
         })
         .collect()
 }
@@ -137,18 +157,34 @@ fn rebuild_table(rendered: &str) -> Option<spfail_report::Table> {
 fn main() {
     let args = parse_args();
     eprintln!(
-        "generating world at scale {} (seed 0x{:x}) and running the full campaign...",
-        args.scale, args.seed
+        "{} world at scale {} (seed 0x{:x}) and running the full campaign...",
+        if args.streaming { "streaming" } else { "generating" },
+        args.scale,
+        args.seed
     );
     let started = Instant::now();
-    let ctx = Context::run(args.scale, args.seed);
+    let run = if args.streaming {
+        Run::Streaming(Box::new(StreamContext::run(args.scale, args.seed)))
+    } else {
+        Run::Eager(Box::new(Context::run(args.scale, args.seed)))
+    };
+    // The world-wide counts come from the materialized world eagerly and
+    // from the aggregates fold when streaming (index 0 = the All set).
+    let (domains, hosts) = match &run {
+        Run::Eager(ctx) => (ctx.world.domains.len(), ctx.world.hosts.len()),
+        Run::Streaming(sc) => (sc.aggregates.set_counts[0], sc.summary.masks.len()),
+    };
+    let campaign = match &run {
+        Run::Eager(ctx) => &ctx.campaign,
+        Run::Streaming(sc) => &sc.campaign,
+    };
     eprintln!(
         "world: {} domains, {} hosts, {} initially vulnerable hosts, {} vulnerable domains \
          ({:.1}s)",
-        ctx.world.domains.len(),
-        ctx.world.hosts.len(),
-        ctx.campaign.tracked.len(),
-        ctx.campaign.vulnerable_domains.len(),
+        domains,
+        hosts,
+        campaign.tracked.len(),
+        campaign.vulnerable_domains.len(),
         started.elapsed().as_secs_f64()
     );
 
@@ -156,14 +192,14 @@ fn main() {
         "ethics audit: {} contacts admitted immediately, {} waited 90s spacing, \
          {} greylist retries (8 min each), {} duplicate probes suppressed, \
          peak concurrency {}",
-        ctx.campaign.ethics.immediate,
-        ctx.campaign.ethics.spaced,
-        ctx.campaign.ethics.greylist_waits,
-        ctx.campaign.ethics.dedup_suppressed,
-        ctx.campaign.ethics.peak_concurrency,
+        campaign.ethics.immediate,
+        campaign.ethics.spaced,
+        campaign.ethics.greylist_waits,
+        campaign.ethics.dedup_suppressed,
+        campaign.ethics.peak_concurrency,
     );
 
-    let exhibits = selected_exhibits(&args, &ctx);
+    let exhibits = selected_exhibits(&args, &run);
     let mut json_out = serde_json::Map::new();
     let mut md = String::new();
     let _ = writeln!(
@@ -183,10 +219,10 @@ fn main() {
         args.seed,
         args.scale,
         args.scale * 100.0,
-        ctx.world.domains.len(),
-        ctx.world.hosts.len(),
-        ctx.campaign.tracked.len(),
-        ctx.campaign.vulnerable_domains.len(),
+        domains,
+        hosts,
+        campaign.tracked.len(),
+        campaign.vulnerable_domains.len(),
     );
 
     for exhibit in &exhibits {

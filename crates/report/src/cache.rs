@@ -13,15 +13,24 @@
 
 use serde_json::json;
 
-use crate::pipeline::Context;
+use crate::pipeline::{Context, Source, StreamContext};
 use crate::table::Table;
 use crate::Exhibit;
 
 /// The cache-efficiency exhibit: hit/miss/interned tallies of the
 /// pipeline's own campaign run.
 pub fn cache_efficiency(ctx: &Context) -> Exhibit {
+    cache_efficiency_impl(&Source::Eager(ctx))
+}
+
+/// Cache efficiency from a streaming run.
+pub fn cache_efficiency_streaming(sc: &StreamContext) -> Exhibit {
+    cache_efficiency_impl(&Source::Streaming(sc))
+}
+
+fn cache_efficiency_impl(src: &Source) -> Exhibit {
     let mut table = Table::new(["Counter", "Value"]);
-    let json = match &ctx.cache {
+    let json = match src.cache() {
         Some(stats) => {
             let total = stats.hits + stats.misses;
             let hit_rate = stats.hit_rate().unwrap_or(0.0);

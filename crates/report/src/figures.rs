@@ -1,4 +1,9 @@
 //! Figures 2–8 and the notification funnel.
+//!
+//! Every builder is written against [`Source`]: the longitudinal
+//! figures only read the campaign's round data plus retained domains
+//! and tracked hosts, all of which the streaming pipeline keeps, so the
+//! eager and streaming exhibits share one implementation.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -6,25 +11,26 @@ use serde_json::{json, Value};
 use spfail_prober::{RoundStatus, SnapshotStatus};
 use spfail_world::{geo, DomainId, HostId, Timeline};
 
-use crate::pipeline::{Context, SetFilter};
+use crate::pipeline::{Context, SetFilter, Source, StreamContext};
 use crate::series::{render_chart, Series};
 use crate::table::{count_pct, pct, Table};
 use crate::Exhibit;
 
 /// Precomputed longitudinal lookups shared by the time-series figures.
 struct View<'a> {
-    ctx: &'a Context,
+    src: &'a Source<'a>,
     tracked: HashSet<HostId>,
     first_patched: HashMap<HostId, u16>,
     last_vulnerable: HashMap<HostId, u16>,
 }
 
 impl<'a> View<'a> {
-    fn new(ctx: &'a Context) -> View<'a> {
-        let tracked: HashSet<HostId> = ctx.campaign.tracked.iter().copied().collect();
+    fn new(src: &'a Source<'a>) -> View<'a> {
+        let campaign = src.campaign();
+        let tracked: HashSet<HostId> = campaign.tracked.iter().copied().collect();
         let mut first_patched = HashMap::new();
         let mut last_vulnerable = HashMap::new();
-        for (day, statuses) in &ctx.campaign.rounds {
+        for (day, statuses) in &campaign.rounds {
             for (&host, &status) in statuses {
                 match status {
                     RoundStatus::Patched => {
@@ -38,7 +44,7 @@ impl<'a> View<'a> {
             }
         }
         View {
-            ctx,
+            src,
             tracked,
             first_patched,
             last_vulnerable,
@@ -75,8 +81,7 @@ impl<'a> View<'a> {
         direct: &HashMap<HostId, RoundStatus>,
     ) -> (bool, RoundStatus) {
         let hosts: Vec<HostId> = self
-            .ctx
-            .world
+            .src
             .domain(domain)
             .hosts
             .iter()
@@ -114,6 +119,15 @@ impl<'a> View<'a> {
 
 /// Figure 2: final distribution of initially vulnerable domains.
 pub fn fig2(ctx: &Context) -> Exhibit {
+    fig2_impl(&Source::Eager(ctx))
+}
+
+/// Figure 2 from a streaming run.
+pub fn fig2_streaming(sc: &StreamContext) -> Exhibit {
+    fig2_impl(&Source::Streaming(sc))
+}
+
+fn fig2_impl(src: &Source) -> Exhibit {
     let groups = [
         SetFilter::All,
         SetFilter::AlexaTopList,
@@ -123,13 +137,13 @@ pub fn fig2(ctx: &Context) -> Exhibit {
     let mut table = Table::new(["Group", "Init. vulnerable", "Patched", "Vulnerable", "Unknown"]);
     let mut data = serde_json::Map::new();
     for group in groups {
-        let domains = ctx.vulnerable_domains_in(group);
+        let domains = src.vulnerable_domains_in(group);
         let total = domains.len();
         let mut patched = 0;
         let mut vulnerable = 0;
         let mut unknown = 0;
         for d in &domains {
-            match ctx.campaign.snapshot.get(d) {
+            match src.campaign().snapshot.get(d) {
                 Some(SnapshotStatus::Patched) => patched += 1,
                 Some(SnapshotStatus::Vulnerable) => vulnerable += 1,
                 _ => unknown += 1,
@@ -166,7 +180,16 @@ pub fn fig2(ctx: &Context) -> Exhibit {
 
 /// Figure 3: geographic distribution of vulnerable and patched hosts.
 pub fn fig3(ctx: &Context) -> Exhibit {
-    let view = View::new(ctx);
+    fig3_impl(&Source::Eager(ctx))
+}
+
+/// Figure 3 from a streaming run.
+pub fn fig3_streaming(sc: &StreamContext) -> Exhibit {
+    fig3_impl(&Source::Streaming(sc))
+}
+
+fn fig3_impl(src: &Source) -> Exhibit {
+    let view = View::new(src);
     #[derive(Default)]
     struct Bucket {
         vulnerable: usize,
@@ -174,8 +197,8 @@ pub fn fig3(ctx: &Context) -> Exhibit {
         countries: BTreeMap<&'static str, usize>,
     }
     let mut buckets: BTreeMap<(i32, i32), Bucket> = BTreeMap::new();
-    for &host in &ctx.campaign.tracked {
-        let record = ctx.world.host(host);
+    for &host in &src.campaign().tracked {
+        let record = src.host(host);
         let cell = geo::bucket(&record.geo, 15.0);
         let bucket = buckets.entry(cell).or_default();
         bucket.vulnerable += 1;
@@ -223,30 +246,39 @@ pub fn fig3(ctx: &Context) -> Exhibit {
 
 /// Figure 4: vulnerable/patched domains by site-ranking bucket.
 pub fn fig4(ctx: &Context) -> Exhibit {
+    fig4_impl(&Source::Eager(ctx))
+}
+
+/// Figure 4 from a streaming run.
+pub fn fig4_streaming(sc: &StreamContext) -> Exhibit {
+    fig4_impl(&Source::Streaming(sc))
+}
+
+fn fig4_impl(src: &Source) -> Exhibit {
     let build = |set: SetFilter, rank_of: &dyn Fn(DomainId) -> Option<u32>, total_ranks: usize| {
         let mut vulnerable = vec![0usize; 20];
         let mut patched = vec![0usize; 20];
-        for &d in &ctx.vulnerable_domains_in(set) {
+        for &d in &src.vulnerable_domains_in(set) {
             let Some(rank) = rank_of(d) else { continue };
             let bucket =
                 (((rank as usize - 1) * 20) / total_ranks.max(1)).min(19);
             vulnerable[bucket] += 1;
-            if ctx.campaign.snapshot.get(&d) == Some(&SnapshotStatus::Patched) {
+            if src.campaign().snapshot.get(&d) == Some(&SnapshotStatus::Patched) {
                 patched[bucket] += 1;
             }
         }
         (vulnerable, patched)
     };
-    let alexa_total = ctx.set_domains(SetFilter::AlexaTopList).len();
+    let alexa_total = src.set_size(SetFilter::AlexaTopList);
     let (alexa_vulnerable, alexa_patched) = build(
         SetFilter::AlexaTopList,
-        &|d| ctx.world.domain(d).alexa_rank,
+        &|d| src.domain(d).alexa_rank,
         alexa_total,
     );
-    let two_week_total = ctx.set_domains(SetFilter::TwoWeek).len();
+    let two_week_total = src.set_size(SetFilter::TwoWeek);
     let (tw_vulnerable, tw_patched) = build(
         SetFilter::TwoWeek,
-        &|d| ctx.world.domain(d).two_week_rank,
+        &|d| src.domain(d).two_week_rank,
         two_week_total,
     );
     let mut table = Table::new([
@@ -286,12 +318,12 @@ pub fn fig4(ctx: &Context) -> Exhibit {
 }
 
 /// Shared builder for the Figure 5/8 conclusiveness series.
-fn conclusiveness(ctx: &Context, domains: &[DomainId]) -> (Series, Series, Vec<Value>) {
-    let view = View::new(ctx);
+fn conclusiveness(src: &Source, domains: &[DomainId]) -> (Series, Series, Vec<Value>) {
+    let view = View::new(src);
     let mut measured = Series::new("successful measurements");
     let mut with_inferred = Series::new("incl. inferred");
     let mut json_rows = Vec::new();
-    for (day, direct) in &ctx.campaign.rounds {
+    for (day, direct) in &src.campaign().rounds {
         let mut direct_count = 0usize;
         let mut inferred_count = 0usize;
         for &d in domains {
@@ -317,14 +349,23 @@ fn conclusiveness(ctx: &Context, domains: &[DomainId]) -> (Series, Series, Vec<V
 
 /// Figure 5: conclusive vulnerability results over time.
 pub fn fig5(ctx: &Context) -> Exhibit {
-    let domains = ctx.campaign.vulnerable_domains.clone();
-    let (measured, with_inferred, json_rows) = conclusiveness(ctx, &domains);
+    fig5_impl(&Source::Eager(ctx))
+}
+
+/// Figure 5 from a streaming run.
+pub fn fig5_streaming(sc: &StreamContext) -> Exhibit {
+    fig5_impl(&Source::Streaming(sc))
+}
+
+fn fig5_impl(src: &Source) -> Exhibit {
+    let domains = src.campaign().vulnerable_domains.clone();
+    let (measured, with_inferred, json_rows) = conclusiveness(src, &domains);
     let rendered = render_chart(
         &format!(
             "Conclusive measurements over time ({} initially vulnerable domains \
              on {} addresses)",
             domains.len(),
-            ctx.campaign.tracked.len()
+            src.campaign().tracked.len()
         ),
         &[measured, with_inferred],
         " domains",
@@ -342,16 +383,16 @@ pub fn fig5(ctx: &Context) -> Exhibit {
 }
 
 /// Shared builder for the Figure 6/7 vulnerability-rate series.
-fn vulnerability_rates(ctx: &Context, window1_only: bool) -> (Vec<Series>, Vec<Value>) {
-    let view = View::new(ctx);
+fn vulnerability_rates(src: &Source, window1_only: bool) -> (Vec<Series>, Vec<Value>) {
+    let view = View::new(src);
     let sets = [SetFilter::AlexaTopList, SetFilter::Alexa1000, SetFilter::TwoWeek];
     let mut all_series: Vec<Series> = sets.iter().map(|s| Series::new(s.label())).collect();
     let mut json_rows = Vec::new();
     let domains_per_set: Vec<Vec<DomainId>> = sets
         .iter()
-        .map(|&s| ctx.vulnerable_domains_in(s))
+        .map(|&s| src.vulnerable_domains_in(s))
         .collect();
-    for (day, direct) in &ctx.campaign.rounds {
+    for (day, direct) in &src.campaign().rounds {
         if window1_only && *day > Timeline::WINDOW1_END {
             break;
         }
@@ -389,7 +430,16 @@ fn vulnerability_rates(ctx: &Context, window1_only: bool) -> (Vec<Series>, Vec<V
 
 /// Figure 6: vulnerability rates during the first measurement window.
 pub fn fig6(ctx: &Context) -> Exhibit {
-    let (series, json_rows) = vulnerability_rates(ctx, true);
+    fig6_impl(&Source::Eager(ctx))
+}
+
+/// Figure 6 from a streaming run.
+pub fn fig6_streaming(sc: &StreamContext) -> Exhibit {
+    fig6_impl(&Source::Streaming(sc))
+}
+
+fn fig6_impl(src: &Source) -> Exhibit {
+    let (series, json_rows) = vulnerability_rates(src, true);
     Exhibit {
         id: "fig6",
         title: "Figure 6: Vulnerability rate per domain list, first window",
@@ -407,7 +457,16 @@ pub fn fig6(ctx: &Context) -> Exhibit {
 
 /// Figure 7: vulnerability rates over the full measurement period.
 pub fn fig7(ctx: &Context) -> Exhibit {
-    let (series, json_rows) = vulnerability_rates(ctx, false);
+    fig7_impl(&Source::Eager(ctx))
+}
+
+/// Figure 7 from a streaming run.
+pub fn fig7_streaming(sc: &StreamContext) -> Exhibit {
+    fig7_impl(&Source::Streaming(sc))
+}
+
+fn fig7_impl(src: &Source) -> Exhibit {
+    let (series, json_rows) = vulnerability_rates(src, false);
     let finals: Vec<String> = series
         .iter()
         .map(|s| format!("{}: {:.1}%", s.label, s.last().unwrap_or(0.0)))
@@ -434,8 +493,17 @@ pub fn fig7(ctx: &Context) -> Exhibit {
 
 /// Figure 8: conclusive results over time, Alexa Top 1000 only.
 pub fn fig8(ctx: &Context) -> Exhibit {
-    let domains = ctx.vulnerable_domains_in(SetFilter::Alexa1000);
-    let (measured, with_inferred, json_rows) = conclusiveness(ctx, &domains);
+    fig8_impl(&Source::Eager(ctx))
+}
+
+/// Figure 8 from a streaming run.
+pub fn fig8_streaming(sc: &StreamContext) -> Exhibit {
+    fig8_impl(&Source::Streaming(sc))
+}
+
+fn fig8_impl(src: &Source) -> Exhibit {
+    let domains = src.vulnerable_domains_in(SetFilter::Alexa1000);
+    let (measured, with_inferred, json_rows) = conclusiveness(src, &domains);
     Exhibit {
         id: "fig8",
         title: "Figure 8: Conclusive results over time, Alexa Top 1000",
@@ -463,8 +531,17 @@ pub fn fig8(ctx: &Context) -> Exhibit {
 /// the "more comprehensive analysis of package manager responses" the
 /// paper proposes as future work.
 pub fn attribution(ctx: &Context) -> Exhibit {
+    attribution_impl(&Source::Eager(ctx))
+}
+
+/// Attribution from a streaming run.
+pub fn attribution_streaming(sc: &StreamContext) -> Exhibit {
+    attribution_impl(&Source::Streaming(sc))
+}
+
+fn attribution_impl(src: &Source) -> Exhibit {
     use spfail_world::PatchCause;
-    let view = View::new(ctx);
+    let view = View::new(src);
     // Timing-window heuristic: classify each observed patch by when it
     // was first seen.
     let window_of = |day: u16| {
@@ -480,7 +557,7 @@ pub fn attribution(ctx: &Context) -> Exhibit {
     let mut attributed = 0usize;
     let mut correct = 0usize;
     for (&host, &first_day) in &view.first_patched {
-        let truth = ctx.world.host(host).profile.patch_cause;
+        let truth = src.host(host).profile.patch_cause;
         let truth_label = match truth {
             Some(PatchCause::AutoUpdate(_)) => "auto-update",
             Some(PatchCause::ProactiveAdmin) => "proactive-admin",
@@ -537,7 +614,16 @@ pub fn attribution(ctx: &Context) -> Exhibit {
 
 /// §7.7: the notification funnel.
 pub fn notification_funnel(ctx: &Context) -> Exhibit {
-    let f = &ctx.funnel;
+    notification_funnel_impl(&Source::Eager(ctx))
+}
+
+/// The funnel from a streaming run.
+pub fn notification_funnel_streaming(sc: &StreamContext) -> Exhibit {
+    notification_funnel_impl(&Source::Streaming(sc))
+}
+
+fn notification_funnel_impl(src: &Source) -> Exhibit {
+    let f = src.funnel();
     let delivered = f.sent - f.bounced;
     let mut table = Table::new(["Stage", "Count", "Rate", "Paper"]);
     table.row([

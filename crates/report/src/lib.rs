@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregates;
 pub mod cache;
 pub mod figures;
 pub mod pipeline;
@@ -32,7 +33,8 @@ pub mod table;
 pub mod tables;
 pub mod trace_profile;
 
-pub use pipeline::Context;
+pub use aggregates::WorldAggregates;
+pub use pipeline::{Context, Source, StreamContext};
 pub use table::Table;
 
 use serde_json::Value;
@@ -57,33 +59,114 @@ pub struct Exhibit {
 pub struct ExhibitEntry {
     /// Identifier, matching the built [`Exhibit::id`].
     pub id: &'static str,
-    /// Build the exhibit from one pipeline run.
+    /// Build the exhibit from one eager pipeline run.
     pub build: fn(&Context) -> Exhibit,
+    /// Build the same exhibit from one streaming pipeline run. Both
+    /// constructors dispatch to one shared implementation over
+    /// [`pipeline::Source`], so a given seed and scale produce
+    /// bit-for-bit identical exhibits either way.
+    pub build_streaming: fn(&StreamContext) -> Exhibit,
 }
 
 /// The exhibit registry, in paper order. Single source of truth for
 /// "every exhibit": [`all_exhibits`] walks it, and the experiments
 /// binary's `--only` flag selects from it by id.
 pub const EXHIBIT_REGISTRY: &[ExhibitEntry] = &[
-    ExhibitEntry { id: "table1", build: tables::table1 },
-    ExhibitEntry { id: "table2", build: tables::table2 },
-    ExhibitEntry { id: "table3", build: tables::table3 },
-    ExhibitEntry { id: "table4", build: tables::table4 },
-    ExhibitEntry { id: "table5", build: tables::table5 },
-    ExhibitEntry { id: "table6", build: |_| tables::table6() },
-    ExhibitEntry { id: "table7", build: tables::table7 },
-    ExhibitEntry { id: "fig2", build: figures::fig2 },
-    ExhibitEntry { id: "fig3", build: figures::fig3 },
-    ExhibitEntry { id: "fig4", build: figures::fig4 },
-    ExhibitEntry { id: "fig5", build: figures::fig5 },
-    ExhibitEntry { id: "fig6", build: figures::fig6 },
-    ExhibitEntry { id: "fig7", build: figures::fig7 },
-    ExhibitEntry { id: "fig8", build: figures::fig8 },
-    ExhibitEntry { id: "funnel", build: figures::notification_funnel },
-    ExhibitEntry { id: "attribution", build: figures::attribution },
-    ExhibitEntry { id: "resilience", build: resilience::resilience },
-    ExhibitEntry { id: "trace_profile", build: trace_profile::trace_profile },
-    ExhibitEntry { id: "cache_efficiency", build: cache::cache_efficiency },
+    ExhibitEntry {
+        id: "table1",
+        build: tables::table1,
+        build_streaming: tables::table1_streaming,
+    },
+    ExhibitEntry {
+        id: "table2",
+        build: tables::table2,
+        build_streaming: tables::table2_streaming,
+    },
+    ExhibitEntry {
+        id: "table3",
+        build: tables::table3,
+        build_streaming: tables::table3_streaming,
+    },
+    ExhibitEntry {
+        id: "table4",
+        build: tables::table4,
+        build_streaming: tables::table4_streaming,
+    },
+    ExhibitEntry {
+        id: "table5",
+        build: tables::table5,
+        build_streaming: tables::table5_streaming,
+    },
+    ExhibitEntry {
+        id: "table6",
+        build: |_| tables::table6(),
+        build_streaming: |_| tables::table6(),
+    },
+    ExhibitEntry {
+        id: "table7",
+        build: tables::table7,
+        build_streaming: tables::table7_streaming,
+    },
+    ExhibitEntry {
+        id: "fig2",
+        build: figures::fig2,
+        build_streaming: figures::fig2_streaming,
+    },
+    ExhibitEntry {
+        id: "fig3",
+        build: figures::fig3,
+        build_streaming: figures::fig3_streaming,
+    },
+    ExhibitEntry {
+        id: "fig4",
+        build: figures::fig4,
+        build_streaming: figures::fig4_streaming,
+    },
+    ExhibitEntry {
+        id: "fig5",
+        build: figures::fig5,
+        build_streaming: figures::fig5_streaming,
+    },
+    ExhibitEntry {
+        id: "fig6",
+        build: figures::fig6,
+        build_streaming: figures::fig6_streaming,
+    },
+    ExhibitEntry {
+        id: "fig7",
+        build: figures::fig7,
+        build_streaming: figures::fig7_streaming,
+    },
+    ExhibitEntry {
+        id: "fig8",
+        build: figures::fig8,
+        build_streaming: figures::fig8_streaming,
+    },
+    ExhibitEntry {
+        id: "funnel",
+        build: figures::notification_funnel,
+        build_streaming: figures::notification_funnel_streaming,
+    },
+    ExhibitEntry {
+        id: "attribution",
+        build: figures::attribution,
+        build_streaming: figures::attribution_streaming,
+    },
+    ExhibitEntry {
+        id: "resilience",
+        build: resilience::resilience,
+        build_streaming: resilience::resilience_streaming,
+    },
+    ExhibitEntry {
+        id: "trace_profile",
+        build: trace_profile::trace_profile,
+        build_streaming: trace_profile::trace_profile_streaming,
+    },
+    ExhibitEntry {
+        id: "cache_efficiency",
+        build: cache::cache_efficiency,
+        build_streaming: cache::cache_efficiency_streaming,
+    },
 ];
 
 /// Look up a registry entry by exhibit id.
@@ -94,6 +177,16 @@ pub fn exhibit_by_id(id: &str) -> Option<&'static ExhibitEntry> {
 /// Build every exhibit from one pipeline run, in paper order.
 pub fn all_exhibits(ctx: &Context) -> Vec<Exhibit> {
     EXHIBIT_REGISTRY.iter().map(|e| (e.build)(ctx)).collect()
+}
+
+/// Build every exhibit from one *streaming* pipeline run, in paper
+/// order — bit-for-bit identical to [`all_exhibits`] over the eager run
+/// of the same seed and scale.
+pub fn all_exhibits_streaming(sc: &StreamContext) -> Vec<Exhibit> {
+    EXHIBIT_REGISTRY
+        .iter()
+        .map(|e| (e.build_streaming)(sc))
+        .collect()
 }
 
 #[cfg(test)]

@@ -4,8 +4,15 @@ use std::collections::BTreeSet;
 
 use spfail_netsim::PolicyCacheStats;
 use spfail_notify::{NotificationCampaign, NotificationRecord, NotificationReport, PixelLog};
-use spfail_prober::{CampaignBuilder, CampaignData, HostClass, HostInitialResult};
-use spfail_world::{DomainId, HostId, World, WorldConfig};
+use spfail_prober::{
+    CampaignBuilder, CampaignData, CampaignSummary, HostClass, HostInitialResult,
+    StreamedCampaign,
+};
+use spfail_world::{
+    DomainId, DomainRecord, HostId, HostRecord, Population, SparsePopulation, World, WorldConfig,
+};
+
+use crate::aggregates::WorldAggregates;
 
 /// The domain groups the paper reports on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +60,8 @@ pub struct Context {
     /// the cache is measurement-transparent — so only the
     /// `cache_efficiency` exhibit reads this.
     pub cache: Option<PolicyCacheStats>,
+    /// The world-wide folds behind Tables 1–4 and 7.
+    pub aggregates: WorldAggregates,
 }
 
 impl Context {
@@ -87,6 +96,8 @@ impl Context {
         // exactly as the paper built it.
         let (notifications, funnel) =
             NotificationCampaign::run(&world, &campaign.vulnerable_domains, &mut pixels);
+        let aggregates =
+            WorldAggregates::from_world(&world, &CampaignSummary::from_data(&campaign).masks);
         Context {
             world,
             campaign,
@@ -94,19 +105,13 @@ impl Context {
             funnel,
             pixels,
             cache: None,
+            aggregates,
         }
     }
 
     /// Whether `domain` is in `set`.
     pub fn in_set(&self, domain: DomainId, set: SetFilter) -> bool {
-        let d = self.world.domain(domain);
-        match set {
-            SetFilter::All => true,
-            SetFilter::AlexaTopList => d.in_alexa(),
-            SetFilter::Alexa1000 => d.in_alexa_top(self.world.config.top1000_cutoff()),
-            SetFilter::TwoWeek => d.in_two_week(),
-            SetFilter::TopProviders => d.top_provider,
-        }
+        set.member(self.world.domain(domain), self.world.config.top1000_cutoff())
     }
 
     /// All domains in `set`.
@@ -143,6 +148,176 @@ impl Context {
     /// Initially vulnerable domains restricted to `set`.
     pub fn vulnerable_domains_in(&self, set: SetFilter) -> Vec<DomainId> {
         self.campaign
+            .vulnerable_domains
+            .iter()
+            .copied()
+            .filter(|&d| self.in_set(d, set))
+            .collect()
+    }
+}
+
+/// The results of one end-to-end *streaming* run: the same campaign as
+/// [`Context::run`], executed without ever materializing the world. The
+/// world-wide exhibit inputs live in the folded [`WorldAggregates`] and
+/// the campaign's mask column; everything domain- or host-specific the
+/// exhibits read (vulnerable domains, tracked hosts and their full MX
+/// groups) comes from the retained [`SparsePopulation`].
+pub struct StreamContext {
+    /// The configuration the streamed world was synthesized from.
+    pub config: WorldConfig,
+    /// The retained O(tracked) population the longitudinal and
+    /// notification phases ran over.
+    pub population: SparsePopulation,
+    /// Measurement campaign results (`initial` is empty by design — the
+    /// mask column in [`StreamContext::summary`] replaces it).
+    pub campaign: CampaignData,
+    /// The cross-mode campaign summary, including the mask column.
+    pub summary: CampaignSummary,
+    /// The world-wide folds behind Tables 1–4 and 7.
+    pub aggregates: WorldAggregates,
+    /// Notification records.
+    pub notifications: Vec<NotificationRecord>,
+    /// The §7.7 funnel.
+    pub funnel: NotificationReport,
+    /// The tracking-pixel log.
+    pub pixels: PixelLog,
+    /// Compiled-policy cache tallies, as in [`Context::cache`].
+    pub cache: Option<PolicyCacheStats>,
+}
+
+impl StreamContext {
+    /// Run the whole reproduction at `scale` with `seed` in streaming
+    /// mode — the bounded-memory counterpart of [`Context::run`],
+    /// producing bit-for-bit the same exhibits.
+    pub fn run(scale: f64, seed: u64) -> StreamContext {
+        let config = WorldConfig {
+            seed,
+            scale,
+            ..WorldConfig::default()
+        };
+        // The same sequential staged drive as Context::run, over the
+        // streamed sweep's handoff instead of an eager initial sweep.
+        let streamed = StreamedCampaign::sweep(CampaignBuilder::new(), config.clone());
+        let mut session = streamed
+            .session()
+            .expect("a fresh handoff state is self-consistent");
+        while session.advance_round().is_some() {}
+        let run = session.finish();
+        let population = streamed.into_population();
+        let aggregates = WorldAggregates::from_config(&config, &run.summary.masks);
+        let mut pixels = PixelLog::new();
+        let (notifications, funnel) = NotificationCampaign::run(
+            &population,
+            &run.summary.vulnerable_domains,
+            &mut pixels,
+        );
+        StreamContext {
+            config,
+            population,
+            campaign: run.data,
+            summary: run.summary,
+            aggregates,
+            notifications,
+            funnel,
+            pixels,
+            cache: run.cache,
+        }
+    }
+
+    /// Whether `domain` is in `set`. Valid for retained domains only —
+    /// which is every domain an exhibit asks about.
+    pub fn in_set(&self, domain: DomainId, set: SetFilter) -> bool {
+        set.member(self.population.domain(domain), self.config.top1000_cutoff())
+    }
+}
+
+/// One pipeline run, whichever mode produced it: the exhibit builders
+/// are written against this so eager and streaming exhibits share one
+/// implementation. Lookups of specific domains or hosts are only valid
+/// for the retained subset in streaming mode — the exhibits only ask
+/// about vulnerable domains and tracked hosts, which are always
+/// retained.
+pub enum Source<'a> {
+    /// An eager [`Context::run`].
+    Eager(&'a Context),
+    /// A streaming [`StreamContext::run`].
+    Streaming(&'a StreamContext),
+}
+
+impl Source<'_> {
+    /// The world configuration.
+    pub fn config(&self) -> &WorldConfig {
+        match self {
+            Source::Eager(ctx) => &ctx.world.config,
+            Source::Streaming(sc) => &sc.config,
+        }
+    }
+
+    /// The campaign's longitudinal data.
+    pub fn campaign(&self) -> &CampaignData {
+        match self {
+            Source::Eager(ctx) => &ctx.campaign,
+            Source::Streaming(sc) => &sc.campaign,
+        }
+    }
+
+    /// Look up a domain (streaming: retained domains only).
+    pub fn domain(&self, id: DomainId) -> &DomainRecord {
+        match self {
+            Source::Eager(ctx) => ctx.world.domain(id),
+            Source::Streaming(sc) => sc.population.domain(id),
+        }
+    }
+
+    /// Look up a host (streaming: retained hosts only).
+    pub fn host(&self, id: HostId) -> &HostRecord {
+        match self {
+            Source::Eager(ctx) => ctx.world.host(id),
+            Source::Streaming(sc) => sc.population.host(id),
+        }
+    }
+
+    /// The world-wide folds.
+    pub fn aggregates(&self) -> &WorldAggregates {
+        match self {
+            Source::Eager(ctx) => &ctx.aggregates,
+            Source::Streaming(sc) => &sc.aggregates,
+        }
+    }
+
+    /// The §7.7 funnel.
+    pub fn funnel(&self) -> &NotificationReport {
+        match self {
+            Source::Eager(ctx) => &ctx.funnel,
+            Source::Streaming(sc) => &sc.funnel,
+        }
+    }
+
+    /// Compiled-policy cache tallies.
+    pub fn cache(&self) -> Option<&PolicyCacheStats> {
+        match self {
+            Source::Eager(ctx) => ctx.cache.as_ref(),
+            Source::Streaming(sc) => sc.cache.as_ref(),
+        }
+    }
+
+    /// Whether `domain` is in `set` (streaming: retained domains only).
+    pub fn in_set(&self, domain: DomainId, set: SetFilter) -> bool {
+        match self {
+            Source::Eager(ctx) => ctx.in_set(domain, set),
+            Source::Streaming(sc) => sc.in_set(domain, set),
+        }
+    }
+
+    /// How many domains `set` holds, from the aggregates fold.
+    pub fn set_size(&self, set: SetFilter) -> usize {
+        self.aggregates().set_counts[set.index()]
+    }
+
+    /// Initially vulnerable domains restricted to `set` — always
+    /// retained, in both modes.
+    pub fn vulnerable_domains_in(&self, set: SetFilter) -> Vec<DomainId> {
+        self.campaign()
             .vulnerable_domains
             .iter()
             .copied()

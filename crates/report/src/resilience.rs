@@ -17,7 +17,7 @@ use spfail_netsim::{FaultPlan, FaultProfile};
 use spfail_prober::{CampaignBuilder, CampaignData, RetryPolicy};
 use spfail_world::{HostId, World, WorldConfig};
 
-use crate::pipeline::Context;
+use crate::pipeline::{Context, Source, StreamContext};
 use crate::table::{pct, Table};
 use crate::Exhibit;
 
@@ -54,9 +54,18 @@ fn found(data: &CampaignData, measurable: &[HostId]) -> usize {
 
 /// False-negative rates under fault load, with and without retries.
 pub fn resilience(ctx: &Context) -> Exhibit {
+    resilience_impl(&Source::Eager(ctx))
+}
+
+/// The resilience exhibit from a streaming run.
+pub fn resilience_streaming(sc: &StreamContext) -> Exhibit {
+    resilience_impl(&Source::Streaming(sc))
+}
+
+fn resilience_impl(src: &Source) -> Exhibit {
     // A dedicated small world keyed to the run's seed: the exhibit is
     // deterministic per report run but independent of the main scale.
-    let seed = ctx.world.config.seed;
+    let seed = src.config().seed;
     let build = || {
         World::generate(WorldConfig {
             scale: SCALE,

@@ -1,34 +1,42 @@
 //! Tables 1–7.
+//!
+//! Every builder is written against [`Source`], so the eager and
+//! streaming pipelines produce each table through the same code path:
+//! the world-wide counts come from the pre-folded
+//! [`crate::aggregates::WorldAggregates`], and the longitudinal Table 5
+//! reads only retained domains.
 
 use std::collections::BTreeMap;
 
 use serde_json::{json, Value};
-use spfail_libspf2::MacroBehavior;
-use spfail_prober::{HostClass, SnapshotStatus};
+use spfail_prober::{SnapshotStatus, BEHAVIOR_BITS};
 use spfail_world::{tld as tldmod, PACKAGE_TIMELINE};
 
-use crate::pipeline::{Context, SetFilter};
+use crate::aggregates::{Outcomes, TABLE1_SETS};
+use crate::pipeline::{Context, SetFilter, Source, StreamContext};
 use crate::table::{count_pct, pct, Table};
 use crate::Exhibit;
 
 /// Table 1: overlap between the domain measurement sets.
 pub fn table1(ctx: &Context) -> Exhibit {
-    let sets = [
-        SetFilter::TwoWeek,
-        SetFilter::Alexa1000,
-        SetFilter::AlexaTopList,
-    ];
+    table1_impl(&Source::Eager(ctx))
+}
+
+/// Table 1 from a streaming run.
+pub fn table1_streaming(sc: &StreamContext) -> Exhibit {
+    table1_impl(&Source::Streaming(sc))
+}
+
+fn table1_impl(src: &Source) -> Exhibit {
+    let agg = src.aggregates();
     let mut table = Table::new(["Domain Set", "∩ 2-Week MX", "∩ Alexa 1000", "∩ Alexa Top List"]);
     let mut cells = serde_json::Map::new();
-    for row_set in sets {
-        let row_domains = ctx.set_domains(row_set);
+    for (r, row_set) in TABLE1_SETS.iter().enumerate() {
+        let row_total = agg.set_counts[row_set.index()];
         let mut row = vec![row_set.label().to_string()];
-        for col_set in sets {
-            let overlap = row_domains
-                .iter()
-                .filter(|&&d| ctx.in_set(d, col_set))
-                .count();
-            row.push(count_pct(overlap, row_domains.len()));
+        for (c, col_set) in TABLE1_SETS.iter().enumerate() {
+            let overlap = agg.overlaps[r][c];
+            row.push(count_pct(overlap, row_total));
             cells.insert(
                 format!("{}|{}", row_set.label(), col_set.label()),
                 json!(overlap),
@@ -48,19 +56,26 @@ pub fn table1(ctx: &Context) -> Exhibit {
 
 /// Table 2: most common TLDs per domain set.
 pub fn table2(ctx: &Context) -> Exhibit {
+    table2_impl(&Source::Eager(ctx))
+}
+
+/// Table 2 from a streaming run.
+pub fn table2_streaming(sc: &StreamContext) -> Exhibit {
+    table2_impl(&Source::Streaming(sc))
+}
+
+fn table2_impl(src: &Source) -> Exhibit {
+    let agg = src.aggregates();
     let mut table = Table::new(["#", "Alexa TLD", "Count", "2-Week TLD", "Count"]);
-    let count_tlds = |set: SetFilter| -> Vec<(String, usize)> {
-        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-        for d in ctx.set_domains(set) {
-            *counts.entry(ctx.world.domain(d).tld.clone()).or_default() += 1;
-        }
-        let mut sorted: Vec<(String, usize)> = counts.into_iter().collect();
+    let top15 = |counts: &BTreeMap<String, usize>| -> Vec<(String, usize)> {
+        let mut sorted: Vec<(String, usize)> =
+            counts.iter().map(|(t, c)| (t.clone(), *c)).collect();
         sorted.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         sorted.truncate(15);
         sorted
     };
-    let alexa = count_tlds(SetFilter::AlexaTopList);
-    let two_week = count_tlds(SetFilter::TwoWeek);
+    let alexa = top15(&agg.tld_alexa);
+    let two_week = top15(&agg.tld_two_week);
     for i in 0..15 {
         let (at, ac) = alexa
             .get(i)
@@ -86,123 +101,24 @@ pub fn table2(ctx: &Context) -> Exhibit {
     }
 }
 
-/// Per-set NoMsg/BlankMsg outcome counts (one Table 3 column pair).
-#[derive(Debug, Default, Clone)]
-struct Outcomes {
-    total: usize,
-    refused: usize,
-    nomsg_total: usize,
-    nomsg_failure: usize,
-    nomsg_measured: usize,
-    nomsg_not_measured: usize,
-    blank_total: usize,
-    blank_failure: usize,
-    blank_measured: usize,
-    blank_not_measured: usize,
-    total_measured: usize,
-}
-
-impl Outcomes {
-    fn to_json(&self) -> Value {
-        json!({
-            "total": self.total,
-            "refused": self.refused,
-            "nomsg_total": self.nomsg_total,
-            "nomsg_failure": self.nomsg_failure,
-            "nomsg_measured": self.nomsg_measured,
-            "nomsg_not_measured": self.nomsg_not_measured,
-            "blank_total": self.blank_total,
-            "blank_failure": self.blank_failure,
-            "blank_measured": self.blank_measured,
-            "blank_not_measured": self.blank_not_measured,
-            "total_measured": self.total_measured,
-        })
-    }
-}
-
-fn address_outcomes(ctx: &Context, set: SetFilter) -> Outcomes {
-    let mut o = Outcomes::default();
-    for host in ctx.set_hosts(set) {
-        o.total += 1;
-        let initial = ctx.initial(host);
-        if initial.nomsg.refused() {
-            o.refused += 1;
-            continue;
-        }
-        o.nomsg_total += 1;
-        if initial.nomsg.spf_measured() {
-            o.nomsg_measured += 1;
-        } else if initial.nomsg.smtp_failure() {
-            o.nomsg_failure += 1;
-        } else {
-            o.nomsg_not_measured += 1;
-        }
-        if let Some(blank) = &initial.blankmsg {
-            o.blank_total += 1;
-            if blank.spf_measured() {
-                o.blank_measured += 1;
-            } else if blank.smtp_failure() {
-                o.blank_failure += 1;
-            } else {
-                o.blank_not_measured += 1;
-            }
-        }
-        if ctx.host_class(host) == HostClass::SpfMeasured {
-            o.total_measured += 1;
-        }
-    }
-    o
-}
-
-fn domain_outcomes(ctx: &Context, set: SetFilter) -> Outcomes {
-    let mut o = Outcomes::default();
-    for domain in ctx.set_domains(set) {
-        o.total += 1;
-        let hosts = &ctx.world.domain(domain).hosts;
-        let initials: Vec<_> = hosts.iter().map(|&h| ctx.initial(h)).collect();
-        if initials.iter().all(|i| i.nomsg.refused()) {
-            o.refused += 1;
-            continue;
-        }
-        o.nomsg_total += 1;
-        let any_nomsg_measured = initials.iter().any(|i| i.nomsg.spf_measured());
-        let all_nomsg_failed = initials
-            .iter()
-            .filter(|i| !i.nomsg.refused())
-            .all(|i| i.nomsg.smtp_failure());
-        if any_nomsg_measured {
-            o.nomsg_measured += 1;
-        } else if all_nomsg_failed {
-            o.nomsg_failure += 1;
-        } else {
-            o.nomsg_not_measured += 1;
-        }
-        let blanks: Vec<_> = initials.iter().filter_map(|i| i.blankmsg.as_ref()).collect();
-        if !blanks.is_empty() {
-            o.blank_total += 1;
-            if blanks.iter().any(|b| b.spf_measured()) {
-                o.blank_measured += 1;
-            } else if blanks.iter().all(|b| b.smtp_failure()) {
-                o.blank_failure += 1;
-            } else {
-                o.blank_not_measured += 1;
-            }
-        }
-        if initials.iter().any(|i| i.classification().is_some()) {
-            o.total_measured += 1;
-        }
-    }
-    o
-}
-
 /// Table 3: NoMsg/BlankMsg test outcomes by domain set.
 pub fn table3(ctx: &Context) -> Exhibit {
+    table3_impl(&Source::Eager(ctx))
+}
+
+/// Table 3 from a streaming run.
+pub fn table3_streaming(sc: &StreamContext) -> Exhibit {
+    table3_impl(&Source::Streaming(sc))
+}
+
+fn table3_impl(src: &Source) -> Exhibit {
+    let agg = src.aggregates();
     let columns = [
-        ("Alexa domains", domain_outcomes(ctx, SetFilter::AlexaTopList)),
-        ("Alexa addrs", address_outcomes(ctx, SetFilter::AlexaTopList)),
-        ("2-Week domains", domain_outcomes(ctx, SetFilter::TwoWeek)),
-        ("2-Week addrs", address_outcomes(ctx, SetFilter::TwoWeek)),
-        ("Providers", domain_outcomes(ctx, SetFilter::TopProviders)),
+        ("Alexa domains", agg.domains[SetFilter::AlexaTopList.index()]),
+        ("Alexa addrs", agg.addresses[SetFilter::AlexaTopList.index()]),
+        ("2-Week domains", agg.domains[SetFilter::TwoWeek.index()]),
+        ("2-Week addrs", agg.addresses[SetFilter::TwoWeek.index()]),
+        ("Providers", agg.domains[SetFilter::TopProviders.index()]),
     ];
     let mut table = Table::new(
         std::iter::once("Outcome".to_string())
@@ -247,6 +163,16 @@ pub fn table3(ctx: &Context) -> Exhibit {
 
 /// Table 4: initial SPF results breakdown.
 pub fn table4(ctx: &Context) -> Exhibit {
+    table4_impl(&Source::Eager(ctx))
+}
+
+/// Table 4 from a streaming run.
+pub fn table4_streaming(sc: &StreamContext) -> Exhibit {
+    table4_impl(&Source::Streaming(sc))
+}
+
+fn table4_impl(src: &Source) -> Exhibit {
+    let agg = src.aggregates();
     let mut table = Table::new([
         "Set",
         "SPF Measured",
@@ -257,74 +183,41 @@ pub fn table4(ctx: &Context) -> Exhibit {
     let mut data = serde_json::Map::new();
     for set in [SetFilter::AlexaTopList, SetFilter::TwoWeek, SetFilter::All] {
         // Address-level breakdown.
-        let mut measured = 0usize;
-        let mut vulnerable = 0usize;
-        let mut erroneous = 0usize;
-        for host in ctx.set_hosts(set) {
-            let Some(classification) = ctx.initial(host).classification() else {
-                continue;
-            };
-            measured += 1;
-            if classification.vulnerable() {
-                vulnerable += 1;
-            } else if classification.erroneous_non_vulnerable() {
-                erroneous += 1;
-            }
-        }
-        let compliant = measured - vulnerable - erroneous;
+        let a = agg.table4_addresses[set.index()];
+        let compliant = a.measured - a.vulnerable - a.erroneous;
         table.row([
             format!("{} (addresses)", set.label()),
-            measured.to_string(),
-            count_pct(vulnerable, measured),
-            count_pct(erroneous, measured),
-            count_pct(compliant, measured),
+            a.measured.to_string(),
+            count_pct(a.vulnerable, a.measured),
+            count_pct(a.erroneous, a.measured),
+            count_pct(compliant, a.measured),
         ]);
 
         // Domain-level breakdown: a domain inherits the worst behaviour
         // among its measured hosts (vulnerable > erroneous > compliant).
-        let mut d_measured = 0usize;
-        let mut d_vulnerable = 0usize;
-        let mut d_erroneous = 0usize;
-        for domain in ctx.set_domains(set) {
-            let classes: Vec<_> = ctx
-                .world
-                .domain(domain)
-                .hosts
-                .iter()
-                .filter_map(|&h| ctx.initial(h).classification())
-                .collect();
-            if classes.is_empty() {
-                continue;
-            }
-            d_measured += 1;
-            if classes.iter().any(|c| c.vulnerable()) {
-                d_vulnerable += 1;
-            } else if classes.iter().any(|c| c.erroneous_non_vulnerable()) {
-                d_erroneous += 1;
-            }
-        }
-        let d_compliant = d_measured - d_vulnerable - d_erroneous;
+        let d = agg.table4_domains[set.index()];
+        let d_compliant = d.measured - d.vulnerable - d.erroneous;
         table.row([
             format!("{} (domains)", set.label()),
-            d_measured.to_string(),
-            count_pct(d_vulnerable, d_measured),
-            count_pct(d_erroneous, d_measured),
-            count_pct(d_compliant, d_measured),
+            d.measured.to_string(),
+            count_pct(d.vulnerable, d.measured),
+            count_pct(d.erroneous, d.measured),
+            count_pct(d_compliant, d.measured),
         ]);
 
         data.insert(
             set.label().to_string(),
             json!({
-                "measured": measured,
-                "vulnerable": vulnerable,
-                "erroneous": erroneous,
+                "measured": a.measured,
+                "vulnerable": a.vulnerable,
+                "erroneous": a.erroneous,
                 "compliant": compliant,
-                "vulnerable_ci95": crate::stats::proportion_json(vulnerable, measured),
-                "erroneous_ci95": crate::stats::proportion_json(erroneous, measured),
+                "vulnerable_ci95": crate::stats::proportion_json(a.vulnerable, a.measured),
+                "erroneous_ci95": crate::stats::proportion_json(a.erroneous, a.measured),
                 "domains": {
-                    "measured": d_measured,
-                    "vulnerable": d_vulnerable,
-                    "erroneous": d_erroneous,
+                    "measured": d.measured,
+                    "vulnerable": d.vulnerable,
+                    "erroneous": d.erroneous,
                     "compliant": d_compliant,
                 },
             }),
@@ -344,13 +237,23 @@ pub fn table4(ctx: &Context) -> Exhibit {
 
 /// Table 5: best/worst patch rates by TLD.
 pub fn table5(ctx: &Context) -> Exhibit {
-    let min_group = ((50.0 * ctx.world.config.scale).round() as usize).max(3);
+    table5_impl(&Source::Eager(ctx))
+}
+
+/// Table 5 from a streaming run.
+pub fn table5_streaming(sc: &StreamContext) -> Exhibit {
+    table5_impl(&Source::Streaming(sc))
+}
+
+fn table5_impl(src: &Source) -> Exhibit {
+    let campaign = src.campaign();
+    let min_group = ((50.0 * src.config().scale).round() as usize).max(3);
     let mut per_tld: BTreeMap<String, (usize, usize)> = BTreeMap::new();
-    for &domain in &ctx.campaign.vulnerable_domains {
-        let tld = ctx.world.domain(domain).tld.clone();
+    for &domain in &campaign.vulnerable_domains {
+        let tld = src.domain(domain).tld.clone();
         let entry = per_tld.entry(tld).or_default();
         entry.1 += 1;
-        if ctx.campaign.snapshot.get(&domain) == Some(&SnapshotStatus::Patched) {
+        if campaign.snapshot.get(&domain) == Some(&SnapshotStatus::Patched) {
             entry.0 += 1;
         }
     }
@@ -443,28 +346,31 @@ pub fn table6() -> Exhibit {
 
 /// Table 7: macro-expansion behaviours by IP address.
 pub fn table7(ctx: &Context) -> Exhibit {
-    let mut counts: BTreeMap<MacroBehavior, usize> = BTreeMap::new();
-    let mut measured = 0usize;
-    let mut multi = 0usize;
-    let mut unknown = 0usize;
-    for host in ctx.set_hosts(SetFilter::All) {
-        let Some(classification) = ctx.initial(host).classification() else {
-            continue;
-        };
-        measured += 1;
-        for &behavior in &classification.behaviors {
-            *counts.entry(behavior).or_default() += 1;
-        }
-        if classification.unknown_patterns > 0 {
-            unknown += 1;
-        }
-        if classification.multi_pattern() {
-            multi += 1;
-        }
-    }
+    table7_impl(&Source::Eager(ctx))
+}
+
+/// Table 7 from a streaming run.
+pub fn table7_streaming(sc: &StreamContext) -> Exhibit {
+    table7_impl(&Source::Streaming(sc))
+}
+
+fn table7_impl(src: &Source) -> Exhibit {
+    let agg = src.aggregates();
+    // BEHAVIOR_BITS is in MacroBehavior's Ord order, so walking the
+    // count array in index order and skipping zeros reproduces the
+    // observed-behaviour map.
+    let counts: Vec<(&'static str, usize)> = BEHAVIOR_BITS
+        .iter()
+        .zip(agg.behavior_counts.iter())
+        .filter(|(_, &count)| count > 0)
+        .map(|(behavior, &count)| (behavior.label(), count))
+        .collect();
+    let measured = agg.measured_hosts;
+    let unknown = agg.unknown_pattern_hosts;
+    let multi = agg.multi_pattern_hosts;
     let mut table = Table::new(["Behaviour", "Addresses", "% of measured"]);
-    for (behavior, count) in &counts {
-        table.row([behavior.label().to_string(), count.to_string(), pct(*count, measured)]);
+    for (label, count) in &counts {
+        table.row([label.to_string(), count.to_string(), pct(*count, measured)]);
     }
     if unknown > 0 {
         table.row(["other/unknown".to_string(), unknown.to_string(), pct(unknown, measured)]);
@@ -484,7 +390,7 @@ pub fn table7(ctx: &Context) -> Exhibit {
         rendered: table.render(),
         json: json!({
             "measured": measured,
-            "behaviors": counts.iter().map(|(b, c)| (b.label().to_string(), *c))
+            "behaviors": counts.iter().map(|(b, c)| (b.to_string(), *c))
                 .collect::<BTreeMap<String, usize>>(),
             "unknown_pattern_hosts": unknown,
             "multi_pattern": multi,
@@ -525,7 +431,7 @@ mod tests {
     #[test]
     fn table3_totals_are_consistent() {
         let ctx = ctx();
-        let o = address_outcomes(ctx, SetFilter::AlexaTopList);
+        let o = ctx.aggregates.addresses[SetFilter::AlexaTopList.index()];
         assert_eq!(o.total, o.refused + o.nomsg_total);
         assert_eq!(
             o.nomsg_total,

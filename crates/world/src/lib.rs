@@ -33,6 +33,7 @@ pub mod config;
 pub mod domains;
 pub mod geo;
 pub mod hosting;
+pub mod lazy;
 pub mod pkgmgr;
 pub mod timeline;
 pub mod tld;
@@ -42,6 +43,9 @@ pub use config::WorldConfig;
 pub use domains::{DomainId, DomainRecord, SetMembership};
 pub use geo::GeoPoint;
 pub use hosting::{HostId, HostProfile, HostRecord, PatchCause};
+pub use lazy::{
+    DomainStep, LazyWorld, Population, RuntimePopulation, SparsePopulation, WorldRuntime,
+};
 pub use pkgmgr::{PackageManager, PkgTimelineRow, PACKAGE_TIMELINE};
 pub use timeline::Timeline;
 pub use world::{MtaInstrumentation, World};

@@ -1,18 +1,14 @@
 //! World assembly: the full simulated Internet, ready to probe.
 
-use std::net::Ipv4Addr;
-use std::sync::Arc;
-
-use spfail_dns::{Directory, Name, QueryLog, SpfTestAuthority};
-use spfail_libspf2::MacroBehavior;
-use spfail_mta::{ConnectPolicy, Mta, PolicyCacheHandle, SpfStage};
-use spfail_netsim::{FaultPlan, LatencyModel, Link, Metrics, SimClock, SimRng};
+use spfail_dns::{Directory, Name, QueryLog};
+use spfail_mta::{Mta, PolicyCacheHandle};
+use spfail_netsim::{FaultPlan, Metrics, SimClock, SimRng};
 use spfail_trace::Tracer;
 
 use crate::config::WorldConfig;
-use crate::domains::{DomainId, DomainRecord, SetMembership, TldSampler};
-use crate::geo;
-use crate::hosting::{sample_patch, sample_profile, HostId, HostRecord};
+use crate::domains::{DomainId, DomainRecord};
+use crate::hosting::{HostId, HostRecord};
+use crate::lazy::{LazyWorld, WorldRuntime};
 use crate::timeline::Timeline;
 
 /// The assembled simulated Internet.
@@ -33,7 +29,7 @@ pub struct World {
     pub query_log: QueryLog,
     /// The measurement zone origin (`spf-test.dns-lab.org`).
     pub zone_origin: Name,
-    rng_root: SimRng,
+    runtime: WorldRuntime,
 }
 
 /// Fault-injection hooks for [`World::build_mta_instrumented`].
@@ -60,165 +56,46 @@ pub struct MtaInstrumentation<'a> {
 
 impl World {
     /// Generate the world deterministically from `config`.
+    ///
+    /// This is the eager collector over [`LazyWorld`]: the streaming
+    /// synthesizer is the single source of truth for generation, so the
+    /// lazy and materialized worlds are identical by construction
+    /// (`tests/props.rs` additionally pins host-by-host equality over
+    /// random seeds and scales).
     pub fn generate(config: WorldConfig) -> World {
-        let rng = SimRng::new(config.seed);
-        let mut builder = Builder::new(config.clone(), rng.fork("hosts"));
-        let mut domains = Vec::new();
-
-        // --- Alexa Top List, ranks 1..=nA -------------------------------
-        let n_alexa = config.scaled(config.alexa_total);
-        let alexa_tlds = TldSampler::alexa(&config);
-        let mut tld_rng = rng.fork("alexa-tlds");
-        for rank in 1..=n_alexa {
-            let tld = alexa_tlds.sample(&mut tld_rng);
-            domains.push(DomainRecord {
-                name: format!("a{rank}.{tld}"),
-                tld: tld.to_string(),
-                alexa_rank: Some(rank as u32),
-                two_week_rank: None,
-                top_provider: false,
-                has_mx: true,
-                spam_churn: false,
-                hosts: Vec::new(),
-            });
-        }
-
-        // --- Top Email Providers (replace ranks 6..6+P) ------------------
-        const PROVIDER_TLDS: [&str; 20] = [
-            "com", "com", "kr", "ru", "pl", "cz", "com", "net", "com", "jp", "de", "fr", "com",
-            "uk", "com", "in", "br", "com", "it", "com",
-        ];
-        let n_providers = config.top_providers.min(PROVIDER_TLDS.len());
-        for (i, &tld) in PROVIDER_TLDS.iter().enumerate().take(n_providers) {
-            let rank = 6 + i;
-            if rank > domains.len() {
-                break;
+        let mut stream = LazyWorld::new(config);
+        let mut domains = Vec::with_capacity(stream.domain_count());
+        let mut hosts = Vec::new();
+        let mut host_domains: Vec<Vec<DomainId>> = Vec::new();
+        for step in &mut stream {
+            debug_assert_eq!(step.first_fresh.0 as usize, hosts.len());
+            for record in step.fresh {
+                hosts.push(record);
+                host_domains.push(Vec::new());
             }
-            domains[rank - 1] = DomainRecord {
-                name: format!("mailprov{i}.{tld}"),
-                tld: tld.to_string(),
-                alexa_rank: Some(rank as u32),
-                two_week_rank: None,
-                top_provider: true,
-                has_mx: true,
-                spam_churn: false,
-                hosts: Vec::new(),
-            };
-        }
-
-        // --- 2-Week MX: overlap with Alexa (Table 1) ---------------------
-        let n_two_week = config.scaled(config.two_week_total);
-        let cutoff = config.top1000_cutoff();
-        let overlap_total = config.scaled(config.overlap_toplist_two_week).min(n_two_week);
-        let overlap_1000 = config
-            .scaled(config.overlap_top1000_two_week)
-            .min(overlap_total)
-            .min(cutoff);
-        let mut overlap_rng = rng.fork("overlap");
-        let mut two_week_members: Vec<usize> = Vec::new();
-        // Distinct ranks within the top cutoff...
-        let mut picks = pick_distinct(&mut overlap_rng, cutoff.min(domains.len()), overlap_1000);
-        // ... and the rest strictly below the cutoff.
-        if domains.len() > cutoff {
-            let lower = pick_distinct(
-                &mut overlap_rng,
-                domains.len() - cutoff,
-                overlap_total - overlap_1000,
-            );
-            picks.extend(lower.into_iter().map(|i| i + cutoff));
-        }
-        for idx in picks {
-            two_week_members.push(idx);
-        }
-
-        // --- 2-Week-only domains -----------------------------------------
-        let two_week_tlds = TldSampler::two_week(&config);
-        let mut churn_rng = rng.fork("churn");
-        for i in 0..n_two_week.saturating_sub(two_week_members.len()) {
-            let tld = two_week_tlds.sample(&mut tld_rng);
-            domains.push(DomainRecord {
-                name: format!("m{i}.{tld}"),
-                tld: tld.to_string(),
-                alexa_rank: None,
-                two_week_rank: None,
-                top_provider: false,
-                has_mx: true,
-                spam_churn: churn_rng.chance(config.spam_churn_rate),
-                hosts: Vec::new(),
-            });
-            two_week_members.push(domains.len() - 1);
-        }
-
-        // Assign 2-Week ranks (by observed MX-query volume) at random.
-        let mut rank_rng = rng.fork("two-week-ranks");
-        let mut shuffled = two_week_members.clone();
-        rank_rng.shuffle(&mut shuffled);
-        for (rank0, idx) in shuffled.iter().enumerate() {
-            domains[*idx].two_week_rank = Some(rank0 as u32 + 1);
-        }
-
-        // --- No-MX domains (Alexa-only; §7.1) ----------------------------
-        let mut mx_rng = rng.fork("mx");
-        for d in domains.iter_mut() {
-            if d.alexa_rank.is_some()
-                && d.two_week_rank.is_none()
-                && !d.top_provider
-                && mx_rng.chance(config.no_mx_rate)
-            {
-                d.has_mx = false;
+            for &h in &step.domain.hosts {
+                host_domains[h.0 as usize].push(step.id);
             }
+            domains.push(step.domain);
         }
-
-        // --- Hosting ------------------------------------------------------
-        let n_alexa_f = n_alexa.max(1) as f64;
-        let n_two_week_f = n_two_week.max(1) as f64;
-        #[allow(clippy::needless_range_loop)] // indices feed DomainId and mutation
-        for idx in 0..domains.len() {
-            let (set, rank_fraction, in_top1000) = {
-                let d = &domains[idx];
-                let set = d.primary_set();
-                let frac = match (d.alexa_rank, d.two_week_rank) {
-                    (Some(r), _) => f64::from(r) / n_alexa_f,
-                    (None, Some(r)) => f64::from(r) / n_two_week_f,
-                    (None, None) => 0.75,
-                };
-                (set, frac, d.in_alexa_top(cutoff))
-            };
-            let host_ids = if domains[idx].top_provider {
-                // Providers occupy ranks 6..6+P, i.e. indices 5..5+P.
-                builder.provider_hosts(&domains[idx].tld.clone(), idx - 5)
-            } else if !domains[idx].has_mx {
-                vec![builder.parking_host(&domains[idx].tld.clone())]
-            } else {
-                builder.mail_hosts(set, &domains[idx].tld.clone(), rank_fraction, in_top1000)
-            };
-            for &h in &host_ids {
-                builder.host_domains[h.0 as usize].push(DomainId(idx as u32));
-            }
-            domains[idx].hosts = host_ids;
-        }
-
-        // --- DNS -----------------------------------------------------------
-        let clock = SimClock::new();
-        let directory = Directory::new();
-        let query_log = QueryLog::new();
-        let zone_origin = SpfTestAuthority::default_origin();
-        directory.register(Arc::new(SpfTestAuthority::new(
-            zone_origin.clone(),
-            query_log.clone(),
-        )));
-
+        let runtime = stream.into_runtime();
         World {
-            config,
+            config: runtime.config.clone(),
             domains,
-            hosts: builder.hosts,
-            host_domains: builder.host_domains,
-            clock,
-            directory,
-            query_log,
-            zone_origin,
-            rng_root: rng.fork("world-runtime"),
+            hosts,
+            host_domains,
+            clock: runtime.clock.clone(),
+            directory: runtime.directory.clone(),
+            query_log: runtime.query_log.clone(),
+            zone_origin: runtime.zone_origin.clone(),
+            runtime,
         }
+    }
+
+    /// The population-free runtime surface (clock, DNS directory, RNG
+    /// root) shared with the streaming engine.
+    pub fn runtime(&self) -> &WorldRuntime {
+        &self.runtime
     }
 
     /// Look up a domain.
@@ -332,37 +209,13 @@ impl World {
         clock: SimClock,
         instrumentation: MtaInstrumentation<'_>,
     ) -> Mta {
-        let record = self.host(host);
-        let hostname = format!("mx{}.{}", host.0, record.primary_tld);
-        let config = record.profile.mta_config(&hostname, day);
-        let link = Link::new(
-            LatencyModel::ZERO,
-            instrumentation.dns_faults,
-            clock.clone(),
-            instrumentation.metrics,
-        );
-        let mut rng = self.rng_root.fork_idx("mta", u64::from(host.0));
-        if let Some(salt) = instrumentation.reroll {
-            rng = rng.fork(salt);
-        }
-        let mut mta = Mta::with_dns_link(
-            config,
-            std::net::IpAddr::V4(record.ip),
-            directory,
-            link,
-            clock,
-            rng,
-        );
-        mta.set_dns_tracer(instrumentation.tracer);
-        if let Some(cache) = instrumentation.policy_cache {
-            mta.set_policy_cache(cache);
-        }
-        mta
+        self.runtime
+            .build_mta_record(host, self.host(host), day, directory, clock, instrumentation)
     }
 
     /// A deterministic RNG stream for a named consumer of this world.
     pub fn fork_rng(&self, label: &str) -> SimRng {
-        self.rng_root.fork(label)
+        self.runtime.fork_rng(label)
     }
 }
 
@@ -373,190 +226,10 @@ const _: fn() = || {
     assert_sync::<World>();
 };
 
-/// Pick `count` distinct indices in `[0, bound)`.
-fn pick_distinct(rng: &mut SimRng, bound: usize, count: usize) -> Vec<usize> {
-    let count = count.min(bound);
-    if count == 0 || bound == 0 {
-        return Vec::new();
-    }
-    if count * 3 >= bound {
-        let mut all: Vec<usize> = (0..bound).collect();
-        rng.shuffle(&mut all);
-        all.truncate(count);
-        return all;
-    }
-    let mut seen = std::collections::HashSet::new();
-    while seen.len() < count {
-        seen.insert(rng.below(bound as u64) as usize);
-    }
-    // HashSet iteration order depends on the per-process hash seed; a
-    // sort keeps the world identical across runs for the same SimRng.
-    let mut out: Vec<usize> = seen.into_iter().collect();
-    out.sort_unstable();
-    out
-}
-
-/// Incremental host construction with shared-pool bookkeeping.
-struct Builder {
-    config: WorldConfig,
-    rng: SimRng,
-    hosts: Vec<HostRecord>,
-    host_domains: Vec<Vec<DomainId>>,
-    parking_pool: Vec<HostId>,
-    parking_slots: u32,
-    shared_pool: Vec<HostId>,
-    shared_slots: u32,
-    next_ip: u32,
-}
-
-impl Builder {
-    fn new(config: WorldConfig, rng: SimRng) -> Builder {
-        Builder {
-            config,
-            rng,
-            hosts: Vec::new(),
-            host_domains: Vec::new(),
-            parking_pool: Vec::new(),
-            parking_slots: 0,
-            shared_pool: Vec::new(),
-            shared_slots: 0,
-            next_ip: u32::from(Ipv4Addr::new(11, 0, 0, 1)),
-        }
-    }
-
-    fn alloc_ip(&mut self) -> Ipv4Addr {
-        let ip = Ipv4Addr::from(self.next_ip);
-        self.next_ip += 1;
-        ip
-    }
-
-    fn push_host(
-        &mut self,
-        set: SetMembership,
-        tld: &str,
-        rank_fraction: f64,
-        refuse_override: Option<f64>,
-        serves_top1000: bool,
-    ) -> HostId {
-        let rates = match set {
-            SetMembership::Alexa => &self.config.alexa_rates,
-            SetMembership::TwoWeek => &self.config.two_week_rates,
-            SetMembership::TopProvider => &self.config.top_provider_rates,
-        };
-        let mut profile = sample_profile(
-            &self.config,
-            rates,
-            tld,
-            rank_fraction,
-            refuse_override,
-            &mut self.rng,
-        );
-        if serves_top1000 && profile.impls.iter().any(|b| b.is_vulnerable()) {
-            // §7.6: Alexa Top 1000 hosts go inconclusive early (blacklist)
-            // and only the final snapshot sees the few that patched.
-            profile.blacklist_after = Some(4 + self.rng.below(5) as u32);
-            let (day, cause) =
-                sample_patch(&self.config, tld, true, profile.distro, &mut self.rng);
-            profile.patch_day = day;
-            profile.patch_cause = cause;
-        }
-        let ip = self.alloc_ip();
-        let geo = geo::locate(tld, &mut self.rng);
-        self.hosts.push(HostRecord {
-            ip,
-            geo,
-            primary_set: set,
-            primary_tld: tld.to_string(),
-            serves_top1000,
-            profile,
-        });
-        self.host_domains.push(Vec::new());
-        HostId(self.hosts.len() as u32 - 1)
-    }
-
-    /// A parked/no-MX host: almost always refuses connections.
-    fn parking_host(&mut self, tld: &str) -> HostId {
-        if self.parking_slots == 0 {
-            let id = self.push_host(SetMembership::Alexa, tld, 0.9, Some(0.92), false);
-            self.parking_pool.push(id);
-            self.parking_slots = 4 + self.rng.below(6) as u32;
-        }
-        self.parking_slots -= 1;
-        *self.parking_pool.last().expect("pool refilled above")
-    }
-
-    /// Mail hosts for an ordinary domain: either from a shared-hosting
-    /// pool or dedicated server(s).
-    fn mail_hosts(
-        &mut self,
-        set: SetMembership,
-        tld: &str,
-        rank_fraction: f64,
-        serves_top1000: bool,
-    ) -> Vec<HostId> {
-        // Top-1000 domains self-host; sharing is a long-tail phenomenon.
-        if !serves_top1000 && self.rng.chance(0.68) {
-            if self.shared_slots == 0 {
-                let id = self.push_host(set, tld, rank_fraction, Some(0.22), false);
-                self.shared_pool.push(id);
-                self.shared_slots = 2 + self.rng.below(u64::from(
-                    (self.config.shared_hosting_rate * 4.0) as u32 + 1,
-                )) as u32;
-            }
-            self.shared_slots -= 1;
-            return vec![*self.shared_pool.last().expect("pool refilled above")];
-        }
-        let count = match self.rng.below(20) {
-            0..=13 => 1,
-            14..=18 => 2,
-            _ => 3,
-        };
-        (0..count)
-            .map(|_| self.push_host(set, tld, rank_fraction, None, serves_top1000))
-            .collect()
-    }
-
-    /// Hosts for a top email provider: several addresses, no refusals.
-    fn provider_hosts(&mut self, tld: &str, provider_index: usize) -> Vec<HostId> {
-        let count = 2 + self.rng.below(4) as usize;
-        // §7.5 names exactly four vulnerable providers; the rest are kept
-        // explicitly clean so the reference-set counts stay calibrated.
-        let vulnerable = provider_index < self.config.vulnerable_top_providers;
-        (0..count)
-            .map(|_| {
-                let id = self.push_host(SetMembership::TopProvider, tld, 0.1, Some(0.0), true);
-                let blacklist = Some(5 + self.rng.below(5) as u32);
-                let profile = &mut self.hosts[id.0 as usize].profile;
-                if vulnerable {
-                    profile.connect = ConnectPolicy::Accept;
-                    profile.quirk = spfail_mta::SmtpQuirk::None;
-                    if profile.spf_stage == SpfStage::Never {
-                        profile.spf_stage = SpfStage::OnData;
-                    }
-                    profile.impls = vec![MacroBehavior::VulnerableLibSpf2];
-                    // §7.5: none of the vulnerable providers patched during
-                    // the four months of measurement.
-                    profile.patch_day = None;
-                    profile.patch_cause = None;
-                    profile.blacklist_after = blacklist;
-                } else {
-                    for b in &mut profile.impls {
-                        if b.is_vulnerable() {
-                            *b = MacroBehavior::Compliant;
-                        }
-                    }
-                    profile.patch_day = None;
-                    profile.patch_cause = None;
-                }
-                id
-            })
-            .collect()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use spfail_mta::ConnectPolicy;
 
     fn small_world() -> World {
         World::generate(WorldConfig::small(77))

@@ -19,7 +19,10 @@
 //! * `--resume` — continue from the `--checkpoint` file instead of
 //!   starting over;
 //! * `--stop-after-round N` — checkpoint and exit after `N` rounds (a
-//!   deterministic mid-campaign kill, used by the CI resume job).
+//!   deterministic mid-campaign kill, used by the CI resume job);
+//! * `--streaming` — synthesize the world lazily and run the
+//!   bounded-memory streaming sweep instead of materializing the whole
+//!   population; every measurement is bit-for-bit identical.
 //!
 //! Flags accept both `--flag value` and `--flag=value`. Unknown flags
 //! abort with exit code 2.
@@ -41,6 +44,7 @@ pub struct CampaignArgs {
     pub checkpoint: Option<String>,
     pub resume: bool,
     pub stop_after_round: Option<usize>,
+    pub streaming: bool,
 }
 
 #[allow(dead_code)]
@@ -64,6 +68,7 @@ impl CampaignArgs {
             checkpoint: None,
             resume: false,
             stop_after_round: None,
+            streaming: false,
         };
         let bad = |flag: &str, wants: &str| -> ! {
             eprintln!("{flag} expects {wants}");
@@ -107,6 +112,7 @@ impl CampaignArgs {
                     opts.checkpoint = Some(value("--checkpoint", "a checkpoint path"));
                 }
                 "--resume" => opts.resume = true,
+                "--streaming" => opts.streaming = true,
                 "--stop-after-round" => {
                     let wants = "a round count";
                     opts.stop_after_round = Some(

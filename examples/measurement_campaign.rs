@@ -32,36 +32,27 @@
 //! `--no-policy-cache` runs every SPF evaluation interpretively instead
 //! of through the compiled-policy cache (bit-for-bit identical output,
 //! slower), and `--cache-stats` prints the cache's hit/miss/interned
-//! tallies. The full flag vocabulary lives in `examples/campaign_args.rs`.
+//! tallies. `--streaming` synthesizes the world lazily and runs the
+//! bounded-memory sweep — peak heap stays O(vulnerable) instead of
+//! O(hosts), and every measurement (including checkpoints driven by
+//! `--checkpoint`/`--resume`) is bit-for-bit identical
+//! (`tests/streaming_equivalence.rs`). The full flag vocabulary lives in
+//! `examples/campaign_args.rs`.
 
 use spfail::notify::{NotificationCampaign, PixelLog};
-use spfail::prober::{CampaignRun, SnapshotStatus};
+use spfail::prober::{CampaignRun, CampaignState, SnapshotStatus, StreamedCampaign};
 use spfail::trace::format_us;
-use spfail::world::{Timeline, World, WorldConfig};
+use spfail::world::{Population, SparsePopulation, Timeline, World, WorldConfig};
 
 #[path = "campaign_args.rs"]
 mod campaign_args;
 use campaign_args::CampaignArgs;
 
-/// Drive the staged [`spfail::prober::Session`] API, checkpointing at
-/// every stage boundary. Exits early when `--stop-after-round` says so.
-fn run_staged(world: &World, options: &CampaignArgs) -> CampaignRun {
+/// Drive a staged [`spfail::prober::Session`] to completion,
+/// checkpointing at every round boundary. Exits early when
+/// `--stop-after-round` says so.
+fn drive_staged(mut session: spfail::prober::Session, options: &CampaignArgs) -> CampaignRun {
     let path = options.checkpoint.as_deref().expect("checkpoint path set");
-    let mut session = if options.resume {
-        let session = spfail::prober::Session::restore(path, world)
-            .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
-        println!(
-            "  resumed from {path}: {} rounds done, {} remaining",
-            session.rounds_done(),
-            session.rounds_remaining()
-        );
-        session
-    } else {
-        let mut session = options.builder().session(world);
-        session.initial_sweep();
-        session.checkpoint(path).expect("write checkpoint");
-        session
-    };
     while session.advance_round().is_some() {
         session.checkpoint(path).expect("write checkpoint");
         if options
@@ -85,6 +76,61 @@ fn run_staged(world: &World, options: &CampaignArgs) -> CampaignRun {
     session.finish()
 }
 
+/// The staged eager path: initial sweep (or resume), then rounds.
+fn run_staged(world: &World, options: &CampaignArgs) -> CampaignRun {
+    let path = options.checkpoint.as_deref().expect("checkpoint path set");
+    let session = if options.resume {
+        let session = spfail::prober::Session::restore(path, world)
+            .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
+        println!(
+            "  resumed from {path}: {} rounds done, {} remaining",
+            session.rounds_done(),
+            session.rounds_remaining()
+        );
+        session
+    } else {
+        let mut session = options.builder().session(world);
+        session.initial_sweep();
+        session.checkpoint(path).expect("write checkpoint");
+        session
+    };
+    drive_staged(session, options)
+}
+
+/// The streaming path: a lazy-synthesis sweep (or checkpoint adoption),
+/// then the same staged rounds over the retained population.
+fn run_streaming(config: WorldConfig, options: &CampaignArgs) -> (CampaignRun, SparsePopulation) {
+    let streamed = if options.resume {
+        let path = options.checkpoint.as_deref().expect("--resume requires --checkpoint");
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let state = CampaignState::parse(&text)
+            .unwrap_or_else(|e| panic!("cannot resume from {path}: {e}"));
+        println!("  resumed from {path}: {} rounds done", state.rounds_done);
+        StreamedCampaign::adopt(state, config)
+    } else {
+        StreamedCampaign::sweep(options.builder(), config)
+    };
+    let run = {
+        let mut session = streamed
+            .session()
+            .expect("a streamed handoff state is self-consistent");
+        match options.checkpoint.as_deref() {
+            Some(path) => {
+                if !options.resume {
+                    session.checkpoint(path).expect("write checkpoint");
+                }
+                drive_staged(session, options)
+            }
+            None => {
+                while session.advance_round().is_some() {}
+                session.finish()
+            }
+        }
+    };
+    (run, streamed.into_population())
+}
+
 fn main() {
     let options = CampaignArgs::parse();
     let shards = options.shards;
@@ -93,18 +139,33 @@ fn main() {
         ..WorldConfig::default()
     };
     println!(
-        "generating a 1:{:.0} scale Internet (seed 0x{:x})...",
+        "{} a 1:{:.0} scale Internet (seed 0x{:x})...",
+        if options.streaming {
+            "streaming"
+        } else {
+            "generating"
+        },
         1.0 / config.scale,
         config.seed
     );
-    let world = World::generate(config);
-    println!(
-        "  {} domains on {} unique server addresses",
-        world.domains.len(),
-        world.hosts.len()
-    );
+    // The eager path materializes the world up front; the streaming path
+    // synthesizes hosts on demand and retains only vulnerable MX groups.
+    let world = if options.streaming {
+        None
+    } else {
+        let world = World::generate(config.clone());
+        println!(
+            "  {} domains on {} unique server addresses",
+            world.domains.len(),
+            world.hosts.len()
+        );
+        Some(world)
+    };
 
     println!("running the initial sweep ({})...", Timeline::date_label(0));
+    if options.streaming {
+        println!("  (streaming engine: lazy synthesis, bounded memory)");
+    }
     if shards > 1 {
         println!("  (sharded engine, {shards} parallel workers)");
     }
@@ -119,10 +180,24 @@ fn main() {
             }
         );
     }
-    let run = if options.checkpoint.is_some() {
-        run_staged(&world, &options)
-    } else {
-        options.builder().run(&world)
+    let (run, streamed_population) = match &world {
+        Some(world) => {
+            let run = if options.checkpoint.is_some() {
+                run_staged(world, &options)
+            } else {
+                options.builder().run(world)
+            };
+            (run, None)
+        }
+        None => {
+            let (run, population) = run_streaming(config, &options);
+            println!(
+                "  retained {} hosts across {} vulnerable MX groups (everything else dropped)",
+                population.host_count(),
+                population.domain_count()
+            );
+            (run, Some(population))
+        }
     };
     if options.cache_stats {
         match &run.cache {
@@ -194,10 +269,17 @@ fn main() {
         100.0 * vulnerable as f64 / total as f64,
     );
 
-    // The notification campaign.
+    // The notification campaign — over the materialized world eagerly,
+    // or the retained population when streaming (identical output: every
+    // notified domain's full MX group is retained).
+    let population: &dyn Population = match (&world, &streamed_population) {
+        (Some(world), _) => world,
+        (None, Some(population)) => population,
+        (None, None) => unreachable!("streaming runs always retain a population"),
+    };
     let mut pixels = PixelLog::new();
     let (_records, funnel) =
-        NotificationCampaign::run(&world, &data.vulnerable_domains, &mut pixels);
+        NotificationCampaign::run(population, &data.vulnerable_domains, &mut pixels);
     println!(
         "notifications: {} sent, {} bounced ({:.1}%), {} opened, {} patched between \
          private and public disclosure",

@@ -9,7 +9,7 @@
 use spfail::dns::{wire, Message, Name, RData, Record, RecordType};
 use spfail::libspf2::{LibSpf2Expander, MemSim};
 use spfail::netsim::{EventQueue, Histogram, SimClock, SimDuration, SimRng, SimTime};
-use spfail::prober::{partition_hosts, shard_of};
+use spfail::prober::{partition_hosts, shard_of, HostMask, OnlineAggregate};
 use spfail::trace::{parse_collapsed, Phase, Profile, SpanKind, Trace, TraceConfig, Tracer};
 use spfail::smtp::command::Command;
 use spfail::smtp::reply::Reply;
@@ -18,7 +18,7 @@ use spfail::spf::expand::{
 };
 use spfail::spf::macrostring::{MacroString, MacroTransform};
 use spfail::spf::record::SpfRecord;
-use spfail::world::HostId;
+use spfail::world::{HostId, LazyWorld, World, WorldConfig};
 
 // ---------------------------------------------------------------------------
 // Harness
@@ -1023,5 +1023,96 @@ fn derived_shard_rng_streams_are_distinct() {
                 );
             }
         }
+    }
+}
+
+/// Lazy world synthesis is the eager generator, record for record: for
+/// random seeds and scales, driving [`LazyWorld`] emits every domain and
+/// every host of [`World::generate`] with identical contents, in id
+/// order, each host exactly once.
+#[test]
+fn lazy_world_synthesis_matches_eager_generation() {
+    // World generation is the expensive part of a case; a smaller case
+    // count at varied scales covers the pool/cursor state machine
+    // (shared hosting, parking, providers) across its regimes.
+    for mut rng in cases("lazy_world_synthesis_matches_eager_generation").into_iter().take(12) {
+        let seed = rng.below(u64::MAX);
+        let scale = 0.001 + 0.004 * rng.below(1 << 16) as f64 / f64::from(1 << 16);
+        let config = WorldConfig {
+            scale,
+            ..WorldConfig::small(seed)
+        };
+        let world = World::generate(config.clone());
+        let mut hosts_seen = 0usize;
+        let mut domains_seen = 0usize;
+        for step in LazyWorld::new(config) {
+            // The records carry no PartialEq; their Debug form is a
+            // complete field dump, so string equality is field equality.
+            assert_eq!(
+                format!("{:?}", step.domain),
+                format!("{:?}", world.domain(step.id)),
+                "seed {seed}, scale {scale}: domain {:?}",
+                step.id
+            );
+            assert_eq!(step.first_fresh.0 as usize, hosts_seen, "fresh ids are dense");
+            for (offset, fresh) in step.fresh.iter().enumerate() {
+                let id = HostId(step.first_fresh.0 + offset as u32);
+                assert_eq!(
+                    format!("{fresh:?}"),
+                    format!("{:?}", world.host(id)),
+                    "seed {seed}, scale {scale}: host {id:?}"
+                );
+            }
+            hosts_seen += step.fresh.len();
+            domains_seen += 1;
+        }
+        assert_eq!(domains_seen, world.domains.len());
+        assert_eq!(hosts_seen, world.hosts.len());
+    }
+}
+
+/// [`OnlineAggregate::merge`] is associative, commutative, has the
+/// default aggregate as identity, and is invariant under *any* partition
+/// of the host stream — contiguous or interleaved — which is exactly
+/// what makes the streamed sweep's totals independent of sharding.
+#[test]
+fn online_aggregate_merge_is_associative_commutative_split_invariant() {
+    for mut rng in cases("online_aggregate_merge_is_associative_commutative_split_invariant") {
+        let n = 1 + rng.below(300) as usize;
+        let masks: Vec<u32> = (0..n).map(|_| rng.below(1 << 22) as u32).collect();
+        let whole = OnlineAggregate::from_masks(&masks);
+
+        // Contiguous three-way split at random cut points.
+        let mut cut_a = rng.below(n as u64 + 1) as usize;
+        let mut cut_b = rng.below(n as u64 + 1) as usize;
+        if cut_a > cut_b {
+            std::mem::swap(&mut cut_a, &mut cut_b);
+        }
+        let fold = |range: std::ops::Range<usize>| {
+            let mut agg = OnlineAggregate::default();
+            for i in range {
+                agg.observe(HostId(i as u32), HostMask(masks[i]));
+            }
+            agg
+        };
+        let (a, b, c) = (fold(0..cut_a), fold(cut_a..cut_b), fold(cut_b..n));
+        assert_eq!(a.merge(&b), b.merge(&a), "commutes");
+        assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)), "associates");
+        assert_eq!(a.merge(&b).merge(&c), whole, "contiguous splits fold to the whole");
+        assert_eq!(whole.merge(&OnlineAggregate::default()), whole, "identity");
+        assert_eq!(OnlineAggregate::default().merge(&whole), whole, "identity");
+
+        // Interleaved partition: each host assigned to one of k shards
+        // at random (the streamed sweep's stride partition is one case).
+        let k = 1 + rng.below(5) as usize;
+        let mut shards = vec![OnlineAggregate::default(); k];
+        for (i, &bits) in masks.iter().enumerate() {
+            let shard = rng.below(k as u64) as usize;
+            shards[shard].observe(HostId(i as u32), HostMask(bits));
+        }
+        let merged = shards
+            .iter()
+            .fold(OnlineAggregate::default(), |acc, s| acc.merge(s));
+        assert_eq!(merged, whole, "interleaved partitions fold to the whole");
     }
 }

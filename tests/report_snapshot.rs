@@ -65,3 +65,28 @@ fn small_campaign_snapshots_are_stable() {
         .expect("trace_profile exhibit present");
     check_snapshot("trace_profile_small.txt", &trace_profile.rendered);
 }
+
+/// Two independent pipeline runs in the *same process* build every
+/// exhibit byte-identically. Each `HashMap`/`HashSet` instance draws its
+/// own hash seed, so any exhibit whose output leaked a map's iteration
+/// order would diverge between the two builds — this pins the
+/// iteration-order audit (every exhibit sorts or re-keys into `BTreeMap`
+/// before rendering) as a regression test.
+#[test]
+fn exhibits_are_iteration_order_independent() {
+    let first = Context::run(0.004, 7);
+    let second = Context::run(0.004, 7);
+    let a = all_exhibits(&first);
+    let b = all_exhibits(&second);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.rendered, y.rendered, "exhibit {} leaks iteration order", x.id);
+        assert_eq!(
+            serde_json::to_string(&x.json).expect("serialize"),
+            serde_json::to_string(&y.json).expect("serialize"),
+            "exhibit {} JSON leaks iteration order",
+            x.id
+        );
+    }
+}
