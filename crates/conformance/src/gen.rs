@@ -85,7 +85,10 @@ impl<'a> Gen<'a> {
             }
             format!("{}.{}", labels.join("."), rng.pick(TLDS))
         };
-        let client_ip: IpAddr = rng.pick(CLIENT_IPS).parse().unwrap();
+        let client_ip: IpAddr = rng
+            .pick(CLIENT_IPS)
+            .parse()
+            .expect("CLIENT_IPS holds only literal addresses");
         let sender_local = rng.pick(SENDER_LOCALS).to_string();
         let case = ConformanceCase::new(
             &format!("gen-{index}"),
@@ -204,7 +207,11 @@ impl<'a> Gen<'a> {
     }
 
     fn qualifier(&mut self) -> &'static str {
-        match self.rng.pick_weighted(&[0.55, 0.16, 0.12, 0.09, 0.08]).unwrap() {
+        match self
+            .rng
+            .pick_weighted(&[0.55, 0.16, 0.12, 0.09, 0.08])
+            .expect("weight table is non-empty and finite")
+        {
             0 => "",
             1 => "-",
             2 => "~",
@@ -215,7 +222,11 @@ impl<'a> Gen<'a> {
 
     fn mechanism(&mut self, domain: &str, depth: usize) -> String {
         let q = self.qualifier();
-        match self.rng.pick_weighted(&[24.0, 7.0, 15.0, 7.0, 22.0, 9.0, 4.0]).unwrap() {
+        match self
+            .rng
+            .pick_weighted(&[24.0, 7.0, 15.0, 7.0, 22.0, 9.0, 4.0])
+            .expect("weight table is non-empty and finite")
+        {
             0 => {
                 // ip4, matching the client about half the time.
                 if let (IpAddr::V4(ip), true) = (self.case.client_ip, self.rng.chance(0.5)) {

@@ -297,9 +297,11 @@ pub fn rfc_vectors() -> Vec<RfcVector> {
         .iter()
         .map(|(script, expect_explanation)| {
             let case = ConformanceCase::parse_script(script)
+                // lint:allow(panic-explicit) the corpus is compile-time data; a parse failure is a build-breaking editing error, not a runtime condition
                 .unwrap_or_else(|e| panic!("embedded vector failed to parse: {e}\n{script}"));
             let expect = case
                 .expect_result
+                // lint:allow(panic-explicit) same compile-time corpus: a vector without a pinned result is an authoring bug the message names
                 .unwrap_or_else(|| panic!("vector {} pins no result", case.name));
             RfcVector {
                 name: case.name.clone(),

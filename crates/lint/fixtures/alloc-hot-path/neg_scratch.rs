@@ -1,0 +1,9 @@
+use core::fmt::Write;
+
+// The scratch-buffer idiom: the caller owns the buffer, the hot path
+// only appends — zero allocations at steady state.
+pub fn render_macro(&mut self, name: &str, out: &mut String) {
+    out.clear();
+    let _ = write!(out, "{}.", name);
+    out.push_str(self.origin_ascii());
+}

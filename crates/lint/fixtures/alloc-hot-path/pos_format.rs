@@ -1,0 +1,8 @@
+// Per-call heap construction on a path under the allocation budget:
+// each of these shows up in the counting-allocator test as a regression.
+pub fn render_macro(&mut self, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{}.{}", name, self.origin));
+    let labels: Vec<String> = name.split('.').map(|l| l.to_string()).collect();
+    labels.join(".")
+}

@@ -1,0 +1,6 @@
+// House style: all randomness flows from identity-derived SimRng
+// streams, so a probe's dice depend only on what the probe *is*.
+pub fn jitter_ms(base: &SimRng, host: u32) -> u64 {
+    let mut rng = base.fork(&label(host));
+    rng.below(100)
+}

@@ -1,0 +1,6 @@
+pub fn jitter_ms() -> u64 {
+    // OS entropy: every run rolls different dice, so no run can be
+    // replayed or compared against a reference.
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..100)
+}

@@ -1,0 +1,19 @@
+// The house style: integer sums and u128 moment squares merge
+// associatively; floats appear only in derived accessors.
+pub struct LatencyAggregate {
+    pub count: u64,
+    pub sum: u64,
+    pub sum_sq: u128,
+}
+
+impl LatencyAggregate {
+    pub fn mean(&self) -> f64 {
+        self.sum as f64 / self.count as f64
+    }
+
+    pub fn variance(&self) -> f64 {
+        let n = self.count as f64;
+        let mean = self.mean();
+        (self.sum_sq as f64 / n) - mean * mean
+    }
+}

@@ -1,0 +1,7 @@
+// A float accumulator in a mergeable aggregate: (a + b) + c != a + (b
+// + c) in f64, so shard merge order leaks into the merged value.
+pub struct LatencyAggregate {
+    pub count: u64,
+    pub mean_acc: f64,
+    pub m2: f64,
+}

@@ -1,0 +1,13 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Mirror {
+    live: HashMap<u32, u64>,
+}
+
+impl Mirror {
+    // Collecting into a BTreeMap imposes key order regardless of the
+    // hash map's visit order.
+    pub fn snapshot(&self) -> BTreeMap<u32, u64> {
+        self.live.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}

@@ -1,0 +1,24 @@
+use std::collections::HashMap;
+
+pub struct Counters {
+    counts: HashMap<u32, u64>,
+}
+
+impl Counters {
+    // Order-insensitive terminals never observe iteration order.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    pub fn tracked(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn peak(&self) -> Option<u64> {
+        self.counts.values().copied().max()
+    }
+
+    pub fn has(&self, host: u32) -> bool {
+        self.counts.contains_key(&host)
+    }
+}

@@ -1,0 +1,13 @@
+// The fixed `pick_distinct`: the HashSet draw is sorted before the
+// order can escape — the ordered-collect idiom the rule looks for.
+use std::collections::HashSet;
+
+pub fn pick_distinct(rng: &mut SimRng, bound: usize, count: usize) -> Vec<usize> {
+    let mut seen = HashSet::new();
+    while seen.len() < count {
+        seen.insert(rng.below(bound as u64) as usize);
+    }
+    let mut out: Vec<usize> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
+}

@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+pub struct Ranks {
+    by_host: HashMap<u32, u32>,
+}
+
+impl Ranks {
+    // A for-loop over a hash map observes the per-process seed order
+    // directly; no after-the-fact sort can redeem the body.
+    pub fn emit(&self, out: &mut Vec<u32>) {
+        for (host, rank) in &self.by_host {
+            out.push(host ^ rank);
+        }
+    }
+}

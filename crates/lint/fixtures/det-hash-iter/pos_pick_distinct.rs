@@ -1,0 +1,15 @@
+// Reconstruction of the historical ISSUE-4 `pick_distinct` bug: the
+// sparse branch drew indices into a HashSet and returned them in the
+// set's iteration order, which depends on the per-process hash seed.
+// The leak reached 2-Week rank assignment and was only caught by the
+// report golden-snapshot test. This rule catches it at the source.
+use std::collections::HashSet;
+
+pub fn pick_distinct(rng: &mut SimRng, bound: usize, count: usize) -> Vec<usize> {
+    let mut seen = HashSet::new();
+    while seen.len() < count {
+        seen.insert(rng.below(bound as u64) as usize);
+    }
+    let out: Vec<usize> = seen.into_iter().collect();
+    out
+}

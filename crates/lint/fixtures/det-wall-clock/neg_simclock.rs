@@ -1,0 +1,7 @@
+// Simulated time is a pure function of the event stream: advancing the
+// shared SimClock is deterministic under any shard interleaving.
+pub fn time_a_probe(clock: &SimClock) -> SimDuration {
+    let started = clock.now();
+    expensive(clock);
+    clock.now().since(started)
+}

@@ -1,0 +1,9 @@
+use std::time::Instant;
+
+pub fn time_a_probe() -> u64 {
+    // Wall-clock reads make shard timing observable: two workers racing
+    // the host clock can never merge bit-for-bit.
+    let started = Instant::now();
+    expensive();
+    started.elapsed().as_micros() as u64
+}

@@ -1,0 +1,15 @@
+// The same transaction routed through the ethics guard: admitted
+// before the contact, released after.
+pub fn probe_once(&mut self, mta: &mut Mta, ip: IpAddr) -> Option<Reply> {
+    self.ethics.admit(ip);
+    let outcome = match mta.connect(self.source_ip) {
+        ConnectDecision::Refused => None,
+        _ => {
+            let (mut session, banner) = mta.open_session();
+            let _ = session.handle_message(b"");
+            Some(banner)
+        }
+    };
+    self.ethics.release(ip);
+    outcome
+}

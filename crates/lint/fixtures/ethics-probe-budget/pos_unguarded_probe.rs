@@ -1,0 +1,12 @@
+// An SMTP transaction with no ethics reference anywhere in the
+// function: nothing ties this contact to the §6.1 budget.
+pub fn blast(mta: &mut Mta, source: IpAddr) -> Option<Reply> {
+    match mta.connect(source) {
+        ConnectDecision::Refused => None,
+        _ => {
+            let (mut session, banner) = mta.open_session();
+            let _ = session.handle_message(b"");
+            Some(banner)
+        }
+    }
+}

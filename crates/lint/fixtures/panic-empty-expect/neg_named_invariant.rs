@@ -1,0 +1,3 @@
+pub fn parse_port(s: &str) -> u16 {
+    s.parse().expect("caller validated digits")
+}

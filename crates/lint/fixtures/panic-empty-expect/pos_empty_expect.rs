@@ -1,0 +1,4 @@
+pub fn parse_port(s: &str) -> u16 {
+    // An empty message is an unwrap wearing a disguise.
+    s.parse().expect("")
+}

@@ -1,0 +1,25 @@
+pub fn classify(kind: u8) -> Result<&'static str, ProbeError> {
+    match kind {
+        0 => Ok("no-msg"),
+        1 => Ok("blank-msg"),
+        _ => Err(ProbeError::Malformed),
+    }
+}
+
+pub fn tag(test: ProbeTest) -> u8 {
+    match test {
+        ProbeTest::NoMsg => 0,
+        ProbeTest::BlankMsg => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rejects_unknown_kinds() {
+        // Tests may panic: that is what a failing assertion is.
+        if super::classify(9).is_ok() {
+            panic!("kind 9 must not classify");
+        }
+    }
+}

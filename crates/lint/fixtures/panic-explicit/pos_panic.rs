@@ -1,0 +1,11 @@
+pub fn classify(kind: u8) -> &'static str {
+    match kind {
+        0 => "no-msg",
+        1 => "blank-msg",
+        _ => panic!("bad kind {kind}"),
+    }
+}
+
+pub fn not_yet() -> u32 {
+    todo!()
+}

@@ -1,0 +1,18 @@
+pub fn source_ip() -> IpAddr {
+    // expect("<invariant>") is the house style for truly-infallible
+    // cases; real fallibility propagates through ProbeError.
+    "203.0.113.25".parse().expect("static address is valid")
+}
+
+pub fn parse_port(s: &str) -> Result<u16, ProbeError> {
+    s.parse().map_err(|_| ProbeError::Malformed)
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely: a panic *is* the failure report.
+    #[test]
+    fn round_trips() {
+        assert_eq!(super::parse_port("25").unwrap(), 25);
+    }
+}

@@ -1,0 +1,62 @@
+//! `cargo run -p lint` — scan the workspace and exit nonzero on any
+//! unsuppressed finding.
+//!
+//! Flags:
+//! * `--deny-all`    also fail on suppressions that silence nothing
+//! * `--list-rules`  print the rule catalog and exit
+//! * `--quiet`       findings only, no summary banner
+
+use lint::{lint_workspace, workspace_root, Config, ALL_RULES};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let deny_all = args.iter().any(|a| a == "--deny-all");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    if args.iter().any(|a| a == "--list-rules") {
+        for rule in ALL_RULES {
+            println!("{:<20} {}", rule.id, rule.summary);
+        }
+        return;
+    }
+    if let Some(unknown) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--deny-all" | "--quiet"))
+    {
+        eprintln!("unknown argument `{unknown}` (try --deny-all, --list-rules, --quiet)");
+        std::process::exit(2);
+    }
+
+    let root = workspace_root();
+    let report = lint_workspace(&root, &Config::workspace());
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    let mut failures = report.findings.len();
+    if deny_all {
+        for s in &report.unused {
+            println!(
+                "{}:{}: [unused-suppression] `lint:allow({})` no longer suppresses anything — \
+                 remove it or re-justify",
+                s.file, s.line, s.rule
+            );
+        }
+        failures += report.unused.len();
+    }
+    if !quiet {
+        eprintln!(
+            "lint: {} files, {} finding(s), {} suppressed ({} suppression(s){})",
+            report.files,
+            report.findings.len(),
+            report.suppressed,
+            report.suppressions.len(),
+            if deny_all {
+                format!(", {} unused", report.unused.len())
+            } else {
+                String::new()
+            }
+        );
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

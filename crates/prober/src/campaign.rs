@@ -534,11 +534,16 @@ impl Campaign {
     ) -> (Vec<HostId>, Vec<DomainId>, HashMap<HostId, ProbeTest>) {
         // Track the vulnerable plus the transient-but-remeasurable.
         let mut tracked = initial.vulnerable_hosts();
-        for (&host, result) in &initial.results {
-            if result.transient() && !tracked.contains(&host) && result.vulnerable() {
-                tracked.push(host);
-            }
-        }
+        let mut transient: Vec<HostId> = initial
+            .results
+            .iter()
+            .filter(|(host, result)| {
+                result.transient() && result.vulnerable() && !tracked.contains(host)
+            })
+            .map(|(&host, _)| host)
+            .collect();
+        transient.sort_unstable();
+        tracked.extend(transient);
         tracked.sort();
 
         let vulnerable_domains = world.derive_vulnerable_domains(&tracked);

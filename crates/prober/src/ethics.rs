@@ -135,6 +135,13 @@ impl EthicsGuard {
         self.tested_this_sweep.insert(ip, ());
     }
 
+    /// Whether at least one admitted contact currently holds a
+    /// concurrency slot. Inner transaction code asserts this so no SMTP
+    /// traffic can be emitted outside an `admit`/`release` bracket.
+    pub fn holds_slot(&self) -> bool {
+        self.in_flight > 0
+    }
+
     /// Release the concurrency slot when the connection ends.
     pub fn release(&mut self, ip: IpAddr) {
         self.in_flight = self.in_flight.saturating_sub(1);

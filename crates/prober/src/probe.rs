@@ -723,7 +723,7 @@ impl<'w> Prober<'w> {
         // Restore the host's cross-round connection count so blacklisting
         // thresholds apply campaign-wide, not per-instance.
         for _ in 0..extra_connections {
-            let _ = mta.connect(self.source_ip);
+            let _ = mta.connect(self.source_ip); // lint:allow(ethics-probe-budget) replays the historical connection counter against a fresh Mta instance; no new traffic reaches any host
         }
 
         let log_start = self.ctx.query_log.len();
@@ -909,6 +909,10 @@ impl<'w> Prober<'w> {
         sender_domain: &str,
         test: ProbeTest,
     ) -> Option<TransactionOutcome> {
+        debug_assert!(
+            self.ethics.holds_slot(),
+            "run_once outside an admit/release bracket: all SMTP traffic must hold an ethics slot"
+        );
         let banner = match mta.connect(self.source_ip) {
             ConnectDecision::Refused => return None,
             ConnectDecision::RejectedBanner(reply) => reply,

@@ -337,10 +337,14 @@ impl<'w> Session<'w> {
     /// Record a finished round: push it onto the results and advance the
     /// carried per-host state by its conclusive measurements.
     fn note_round(&mut self, day: u16, statuses: HashMap<HostId, RoundStatus>) {
-        for (&host, &status) in &statuses {
-            if status != RoundStatus::Inconclusive {
-                self.last_conclusive.insert(host, (day, status));
-            }
+        let mut conclusive: Vec<(HostId, RoundStatus)> = statuses
+            .iter()
+            .filter(|(_, &status)| status != RoundStatus::Inconclusive)
+            .map(|(&host, &status)| (host, status))
+            .collect();
+        conclusive.sort_unstable_by_key(|(host, _)| *host);
+        for (host, status) in conclusive {
+            self.last_conclusive.insert(host, (day, status));
         }
         self.rounds.push((day, statuses));
         self.rounds_done += 1;
@@ -879,6 +883,7 @@ impl<'w> Session<'w> {
             session.workers.push(Worker {
                 prober,
                 tracer,
+                // lint:allow(det-hash-iter) ws.counts is the checkpoint's sorted Vec, not a hash map; the name merely matches the Worker field
                 counts: ws.counts.into_iter().collect(),
                 hosts,
             });

@@ -5,7 +5,7 @@
 //! and tracked hosts, all of which the streaming pipeline keeps, so the
 //! eager and streaming exhibits share one implementation.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use serde_json::{json, Value};
 use spfail_prober::{RoundStatus, SnapshotStatus};
@@ -19,19 +19,22 @@ use crate::Exhibit;
 /// Precomputed longitudinal lookups shared by the time-series figures.
 struct View<'a> {
     src: &'a Source<'a>,
-    tracked: HashSet<HostId>,
-    first_patched: HashMap<HostId, u16>,
-    last_vulnerable: HashMap<HostId, u16>,
+    tracked: BTreeSet<HostId>,
+    first_patched: BTreeMap<HostId, u16>,
+    last_vulnerable: BTreeMap<HostId, u16>,
 }
 
 impl<'a> View<'a> {
     fn new(src: &'a Source<'a>) -> View<'a> {
         let campaign = src.campaign();
-        let tracked: HashSet<HostId> = campaign.tracked.iter().copied().collect();
-        let mut first_patched = HashMap::new();
-        let mut last_vulnerable = HashMap::new();
+        let tracked: BTreeSet<HostId> = campaign.tracked.iter().copied().collect();
+        let mut first_patched = BTreeMap::new();
+        let mut last_vulnerable = BTreeMap::new();
         for (day, statuses) in &campaign.rounds {
-            for (&host, &status) in statuses {
+            let mut by_host: Vec<(HostId, RoundStatus)> =
+                statuses.iter().map(|(&host, &status)| (host, status)).collect();
+            by_host.sort_unstable_by_key(|(host, _)| *host);
+            for (host, status) in by_host {
                 match status {
                     RoundStatus::Patched => {
                         first_patched.entry(host).or_insert(*day);
